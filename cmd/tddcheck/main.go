@@ -1,0 +1,53 @@
+// Command tddcheck classifies a set of temporal rules along every axis of
+// the paper: validity (range restriction, semi-normality, forwardness),
+// recursion structure, the inflationary test of Theorem 5.2,
+// multi-separability (Section 6), and — on request — the
+// database-independent I-period of Theorem 6.3.
+//
+// Usage:
+//
+//	tddcheck [-iperiod] [-atoms n] rules.tdd
+//
+// Ground facts in the file are ignored for classification (the classes are
+// properties of rule sets alone).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdd"
+	"tdd/internal/parser"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tddcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	iperiod := flag.Bool("iperiod", false, "compute the I-period (Theorem 6.3 construction; exponential in the predicate count)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("need exactly one rules file")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	// Accept unit files: classification looks at the rules only.
+	prog, _, err := parser.ParseUnit(string(src))
+	if err != nil {
+		return err
+	}
+	rep, err := tdd.Classify(prog.String(), *iperiod)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	return nil
+}

@@ -1,0 +1,81 @@
+// Command tddfddb evaluates functional deductive databases — the
+// Section 7 / [6] generalization of TDDs to several unary function
+// symbols. Because tractability breaks down in this class (no periodic
+// structure to certify), the tool answers ground atomic queries by
+// depth-bounded evaluation and reports per-depth model sizes.
+//
+// Usage:
+//
+//	tddfddb [-depth n] file.fdb [query ...]
+//
+// The file uses nested-application syntax:
+//
+//	reach(f(V)) :- reach(V).
+//	reach(g(V)) :- reach(V).
+//	reach(0).
+//
+// Each query is a ground atom like reach(f(g(0))); the tool evaluates
+// exactly as deep as the query needs. With -depth and no queries it
+// prints the model-growth profile out to that depth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdd/internal/fddb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tddfddb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	depth := flag.Int("depth", 0, "evaluate to this word depth and print the growth profile")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		flag.Usage()
+		return fmt.Errorf("need an .fdb file")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	prog, db, err := fddb.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	e, err := fddb.NewEvaluator(prog, db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alphabet: %q (%d symbols)\n", prog.Alphabet, len(prog.Alphabet))
+
+	if *depth > 0 {
+		e.EnsureDepth(*depth)
+		fmt.Println("depth  facts_at_depth  facts_total")
+		total := 0
+		for d := 0; d <= *depth; d++ {
+			at := e.Store().FactsAtDepth(d)
+			total += at
+			fmt.Printf("%5d  %14d  %11d\n", d, at, total)
+		}
+	}
+
+	for _, q := range args[1:] {
+		qp, qd, err := fddb.Parse(q + ".")
+		if err != nil {
+			return fmt.Errorf("query %q: %w", q, err)
+		}
+		if len(qp.Rules) != 0 || len(qd.Facts) != 1 {
+			return fmt.Errorf("query %q: need a single ground atom", q)
+		}
+		fmt.Printf("?- %s\n%v\n", q, e.Holds(qd.Facts[0]))
+	}
+	return nil
+}

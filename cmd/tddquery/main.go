@@ -1,0 +1,187 @@
+// Command tddquery loads a temporal deductive database and answers
+// queries against its (possibly infinite) least model.
+//
+// Usage:
+//
+//	tddquery [flags] file.tdd [query ...]
+//
+// The file holds rules, ground facts, and sort directives in one unit
+// (see internal/parser). Each query argument is evaluated in order:
+// closed queries print yes/no, open queries print their answer
+// substitutions (representative terms; combine with the rewrite rule
+// printed by -spec to enumerate the infinite families).
+//
+// Flags:
+//
+//	-rules f   read rules from f instead of the unit file
+//	-facts f   read facts from f instead of the unit file
+//	-spec      print the relational specification (T, B, W)
+//	-period    print the certified minimal period
+//	-state t   print the model state M[t]
+//	-work      print the work summary (window, derived facts, ...)
+//	-explain   print derivation trees for ground atomic queries
+//	-savespec f  write the relational specification (JSON) to f
+//	-fromspec f  answer queries from a saved specification (no TDD file)
+//	-window n  override the period-certification window budget
+//
+// Example:
+//
+//	tddquery examples/quickstart/even.tdd 'even(1000000)' 'even(T)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tddquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rulesFile := flag.String("rules", "", "rules file (with -facts)")
+	factsFile := flag.String("facts", "", "facts file (with -rules)")
+	showSpec := flag.Bool("spec", false, "print the relational specification")
+	showPeriod := flag.Bool("period", false, "print the certified minimal period")
+	stateAt := flag.Int("state", -1, "print the model state at this time")
+	showWork := flag.Bool("work", false, "print the work summary")
+	explain := flag.Bool("explain", false, "print derivation trees for ground atomic queries")
+	window := flag.Int("window", 0, "period-certification window budget (0 = default)")
+	saveSpec := flag.String("savespec", "", "write the relational specification (JSON) to this file")
+	fromSpec := flag.String("fromspec", "", "answer queries from a saved specification instead of a TDD file")
+	flag.Parse()
+	args := flag.Args()
+
+	if *fromSpec != "" {
+		data, err := os.ReadFile(*fromSpec)
+		if err != nil {
+			return err
+		}
+		sdb, err := tdd.ImportSpec(data)
+		if err != nil {
+			return err
+		}
+		if *showPeriod {
+			fmt.Printf("period %v\n", sdb.Period())
+		}
+		for _, q := range args {
+			ans, err := sdb.Answers(q)
+			if err != nil {
+				return fmt.Errorf("query %q: %w", q, err)
+			}
+			fmt.Printf("?- %s\n", q)
+			if len(ans) == 0 {
+				fmt.Println("no")
+				continue
+			}
+			fmt.Print(tdd.FormatAnswers(ans))
+		}
+		return nil
+	}
+
+	var opts []tdd.Option
+	if *window > 0 {
+		opts = append(opts, tdd.WithMaxWindow(*window))
+	}
+	if *explain {
+		opts = append(opts, tdd.WithProvenance())
+	}
+
+	var db *tdd.DB
+	var err error
+	switch {
+	case *rulesFile != "" && *factsFile != "":
+		rules, rerr := os.ReadFile(*rulesFile)
+		if rerr != nil {
+			return rerr
+		}
+		facts, ferr := os.ReadFile(*factsFile)
+		if ferr != nil {
+			return ferr
+		}
+		db, err = tdd.Open(string(rules), string(facts), opts...)
+	case len(args) >= 1:
+		src, rerr := os.ReadFile(args[0])
+		if rerr != nil {
+			return rerr
+		}
+		db, err = tdd.OpenUnit(string(src), opts...)
+		args = args[1:]
+	default:
+		flag.Usage()
+		return fmt.Errorf("need a unit file or -rules/-facts")
+	}
+	if err != nil {
+		return err
+	}
+
+	if *showPeriod {
+		p, err := db.Period()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("period %v\n", p)
+	}
+	if *showSpec {
+		s, err := db.Specification()
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	}
+	if *stateAt >= 0 {
+		state, err := db.StateAt(*stateAt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("M[%d]:\n", *stateAt)
+		for _, f := range state {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if *showWork {
+		w, err := db.Work()
+		if err != nil {
+			return err
+		}
+		fmt.Println(w)
+	}
+	if *saveSpec != "" {
+		data, err := db.ExportSpec()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*saveSpec, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("specification written to %s (%d bytes)\n", *saveSpec, len(data))
+	}
+
+	for _, q := range args {
+		ans, err := db.Answers(q)
+		if err != nil {
+			return fmt.Errorf("query %q: %w", q, err)
+		}
+		fmt.Printf("?- %s\n", q)
+		if len(ans) == 0 {
+			fmt.Println("no")
+			continue
+		}
+		fmt.Print(tdd.FormatAnswers(ans))
+		if *explain {
+			tree, err := db.Explain(q, 0)
+			if err != nil {
+				fmt.Printf("(no derivation tree: %v)\n", err)
+				continue
+			}
+			fmt.Print(tree)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command tddrepl is an interactive shell for a temporal deductive
+// database: load a unit file, then type queries (and a few commands) at
+// the prompt.
+//
+// Usage:
+//
+//	tddrepl file.tdd
+//
+// At the prompt:
+//
+//	plane(10, hunter)          evaluate a query (open or closed)
+//	:period                    print the certified minimal period
+//	:spec                      print the relational specification
+//	:state 42                  print the model state M[42]
+//	:classify                  classify the rule set
+//	:rules                     echo the loaded rules
+//	:help                      this list
+//	:quit                      leave
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tdd"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tddrepl file.tdd")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tddrepl:", err)
+		os.Exit(1)
+	}
+	db, err := tdd.OpenUnit(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tddrepl:", err)
+		os.Exit(1)
+	}
+	if err := repl(db, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tddrepl:", err)
+		os.Exit(1)
+	}
+}
+
+func repl(db *tdd.DB, in io.Reader, out io.Writer) error {
+	scanner := bufio.NewScanner(in)
+	fmt.Fprint(out, "tdd> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case line == ":quit" || line == ":q":
+			return nil
+		case line == ":help":
+			fmt.Fprintln(out, "queries: plane(10, hunter) | exists T (p(T) & q(T)) | p(T, X)")
+			fmt.Fprintln(out, "commands: :period :spec :state N :classify :rules :quit")
+		case line == ":period":
+			p, err := db.Period()
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "period %v\n", p)
+		case line == ":spec":
+			s, err := db.Specification()
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprint(out, s)
+		case line == ":classify":
+			fmt.Fprint(out, db.Classify(false).String())
+		case line == ":rules":
+			fmt.Fprint(out, db.Rules())
+		case strings.HasPrefix(line, ":state"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, ":state"))
+			t, err := strconv.Atoi(arg)
+			if err != nil || t < 0 {
+				fmt.Fprintln(out, "usage: :state N")
+				break
+			}
+			state, err := db.StateAt(t)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "M[%d]:\n", t)
+			for _, f := range state {
+				fmt.Fprintf(out, "  %s\n", f)
+			}
+		case strings.HasPrefix(line, ":"):
+			fmt.Fprintf(out, "unknown command %s (try :help)\n", line)
+		default:
+			ans, err := db.Answers(line)
+			switch {
+			case err != nil:
+				fmt.Fprintln(out, "error:", err)
+			case len(ans) == 0:
+				fmt.Fprintln(out, "no")
+			default:
+				fmt.Fprint(out, tdd.FormatAnswers(ans))
+			}
+		}
+		fmt.Fprint(out, "tdd> ")
+	}
+	return scanner.Err()
+}

@@ -1,0 +1,93 @@
+package tdd_test
+
+import (
+	"fmt"
+	"log"
+
+	"tdd"
+)
+
+// The paper's Section 3.3 worked example: one rule, one fact, an infinite
+// least model with period 2.
+func Example() {
+	db, err := tdd.OpenUnit(`
+		even(T+2) :- even(T).
+		even(0).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	yes, _ := db.Ask("even(1000000)")
+	no, _ := db.Ask("even(999999)")
+	p, _ := db.Period()
+	fmt.Println(yes, no, p)
+	// Output: true false (b=1, p=2)
+}
+
+// Open queries over infinite models return finitely many representative
+// answers; together with the specification's rewrite rule they stand for
+// the infinite answer set.
+func ExampleDB_Answers() {
+	db, err := tdd.OpenUnit(`
+		even(T+2) :- even(T).
+		even(0).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, _ := db.Answers("even(T)")
+	fmt.Print(tdd.FormatAnswers(ans))
+	// Output:
+	// T=0
+	// T=2
+}
+
+// Temporal first-order queries mix both quantifier sorts and CWA negation.
+func ExampleDB_Ask() {
+	db, err := tdd.OpenUnit(`
+		plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+		winter(T+4) :- winter(T).
+		winter(0..1).
+		resort(hunter).
+		plane(0, hunter).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	yes, _ := db.Ask("exists T (plane(T, hunter) & winter(T))")
+	fmt.Println(yes)
+	// Output: true
+}
+
+// Classify places a rule set in the paper's tractable classes.
+func ExampleClassify() {
+	rep, err := tdd.Classify(`
+		path(K, X, X) :- node(X), null(K).
+		path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+		path(K+1, X, Y) :- path(K, X, Y).
+	`, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Inflationary, rep.MultiSeparable, rep.Tractable())
+	// Output: true false true
+}
+
+// The relational specification is the finite face of the infinite model.
+func ExampleDB_Specification() {
+	db, err := tdd.OpenUnit(`
+		even(T+2) :- even(T).
+		even(0).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, _ := db.Specification()
+	fmt.Print(s)
+	// Output:
+	// T = {0..2}  (3 representative terms)
+	// W = {3 -> 1}
+	// B = (2 facts)
+	//   even(0).
+	//   even(2).
+}

@@ -1,0 +1,57 @@
+// The adversarial family: an n-bit binary counter whose least model has
+// period 2^n in the size of the database — the empirical face of the
+// paper's PSPACE-hardness results (Theorems 3.2/3.3) and the reason the
+// tractable classes matter. The rule set is fixed; only the database
+// grows. Classification correctly places it outside both tractable
+// classes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tdd"
+	"tdd/internal/workload"
+)
+
+func main() {
+	rep, err := tdd.Classify(workload.CounterRules, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter rules: inflationary=%v multi-separable=%v tractable=%v\n\n",
+		rep.Inflationary, rep.MultiSeparable, rep.Tractable())
+
+	fmt.Println("bits  db_facts  period  time")
+	for bits := 2; bits <= 10; bits++ {
+		rules, facts := workload.Counter(bits)
+		db, err := tdd.Open(rules, facts, tdd.WithMaxWindow(1<<22))
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		p, err := db.Period()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d  %8d  %6d  %v\n", bits, 2+bits+(bits-1), p.P, time.Since(start).Round(time.Microsecond))
+	}
+
+	// The model really is a counter: at time t, bit i is one iff bit i of
+	// t is set.
+	rules, facts := workload.Counter(4)
+	db, err := tdd.Open(rules, facts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const t = 11 // 1011 in binary
+	fmt.Printf("\nstate at t=%d (binary %b):\n", t, t)
+	for i := 0; i < 4; i++ {
+		one, err := db.HoldsAt("one", t, fmt.Sprintf("b%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  bit %d = %v\n", i, one)
+	}
+}

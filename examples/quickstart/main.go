@@ -1,0 +1,52 @@
+// Quickstart: the paper's Section 3.3 worked example. An infinite set of
+// even numbers is defined by one rule and one fact; the library answers
+// ground queries at arbitrary depth, enumerates the infinitely many
+// answers as a finite specification, and exposes the periodic structure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdd"
+)
+
+func main() {
+	db, err := tdd.OpenUnit(`
+		even(T+2) :- even(T).
+		even(0).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Yes-no queries at any temporal depth: the model is infinite, the
+	// answer is O(1) after the one-time specification.
+	for _, n := range []int{4, 3, 1000000, 999999} {
+		yes, err := db.HoldsAt("even", n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("even(%d)? %v\n", n, yes)
+	}
+
+	// The open query even(T) has infinitely many answers; they are
+	// returned as representative substitutions plus a rewrite rule.
+	ans, err := db.Answers("even(T)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answers to even(T):\n%s", tdd.FormatAnswers(ans))
+
+	p, err := db.Period()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("certified period: %v\n", p)
+
+	s, err := db.Specification()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("relational specification:\n%s", s)
+}

@@ -1,0 +1,72 @@
+// Bounded reachability: the paper's Section 2 graph example. The
+// predicate path(K, X, Y) means "there is a path of length at most K from
+// X to Y"; the copy rule makes the rule set inflationary, so the least
+// model's period is 1 (Theorem 5.1) even though the rule set is not
+// I-periodic — path lengths are unbounded across databases.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdd"
+)
+
+func main() {
+	db, err := tdd.OpenUnit(`
+		path(K, X, X) :- node(X), null(K).
+		path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+		path(K+1, X, Y) :- path(K, X, Y).
+
+		null(0).
+		node(a). node(b). node(c). node(d). node(e).
+		edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+		edge(e, a). edge(b, e).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := db.Classify(false)
+	fmt.Printf("inflationary: %v   multi-separable: %v\n", rep.Inflationary, rep.MultiSeparable)
+
+	p, err := db.Period()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("period: %v (p=1 is Theorem 5.1's signature)\n", p)
+
+	// Shortest-path lengths fall out of the bounded-path predicate: the
+	// least K with path(K, x, y).
+	pairs := [][2]string{{"a", "e"}, {"c", "b"}, {"a", "a"}, {"d", "c"}}
+	for _, pair := range pairs {
+		for k := 0; k <= 5; k++ {
+			yes, err := db.HoldsAt("path", k, pair[0], pair[1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if yes {
+				fmt.Printf("shortest path %s -> %s: length %d\n", pair[0], pair[1], k)
+				break
+			}
+		}
+	}
+
+	// Inflationary means once reachable, always reachable: path(10^6,...)
+	// answers are the transitive closure.
+	yes, err := db.HoldsAt("path", 1000000, "a", "d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("path(10^6, a, d)? %v\n", yes)
+
+	// Which nodes reach e within two hops?
+	ans, err := db.Answers("path(2, X, e)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nodes with a path of length <= 2 to e:")
+	for _, a := range ans {
+		fmt.Printf("  %s\n", a.NonTemporal["X"])
+	}
+}

@@ -1,0 +1,93 @@
+// Ski resort flights: the paper's Section 2 travel-agent example. The
+// airline's specification — "flights to ski resorts are scheduled every
+// seventh day during off-season, every second day during the winter and
+// every day during winter holidays" — is six temporal rules. The rule set
+// is multi-separable (but not separable), hence I-periodic, hence
+// tractable; the travel agent asks about concrete days years in the
+// future and enumerates all departure days.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdd"
+)
+
+const year = 365
+
+func main() {
+	rules := fmt.Sprintf(`
+		plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+		plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+		plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+		offseason(T+%d) :- offseason(T).
+		winter(T+%d) :- winter(T).
+		holiday(T+%d) :- holiday(T).
+	`, year, year, year)
+
+	// Day 0 is 12/20/89, the first day of winter in the paper's database.
+	// Winter runs through 03/20/90 (day 90), off-season through 12/19/90.
+	facts := `
+		resort(hunter).
+		resort(aspen).
+		plane(12, hunter).  % the paper's plane(01/01/90)
+		holiday(5).         % 12/25/89
+		holiday(12).        % 01/01/90
+	`
+	for d := 0; d <= 90; d++ {
+		facts += fmt.Sprintf("winter(%d).\n", d)
+	}
+	for d := 91; d < year; d++ {
+		facts += fmt.Sprintf("offseason(%d).\n", d)
+	}
+
+	db, err := tdd.Open(rules, facts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := db.Classify(false)
+	fmt.Printf("multi-separable: %v   separable: %v   inflationary: %v\n",
+		rep.MultiSeparable, rep.Separable, rep.Inflationary)
+
+	// "Does a plane leave to Hunter on day t0?" — including days many
+	// years out, answered through the periodic structure.
+	for _, day := range []int{12, 13, 14, 16, 12 + 10*year, 13 + 10*year} {
+		yes, err := db.HoldsAt("plane", day, "hunter")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plane on day %5d to hunter? %v\n", day, yes)
+	}
+
+	// "All days when a plane leaves to Hunter" has infinitely many
+	// answers: the representative days below repeat with the certified
+	// period.
+	p, err := db.Period()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := db.Answers("plane(T, hunter)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("departure days to hunter (representatives, repeating every %d days):\n", p.P)
+	count := 0
+	for _, a := range ans {
+		if count++; count > 12 {
+			fmt.Printf("  ... and %d more representatives\n", len(ans)-12)
+			break
+		}
+		fmt.Printf("  day %d\n", a.Temporal["T"])
+	}
+
+	// A first-order question: is there a winter day with planes to every
+	// resort?
+	q := "exists T (winter(T) & forall X (!resort(X) | plane(T, X)))"
+	yes, err := db.Ask(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s ? %v\n", q, yes)
+}

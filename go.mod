@@ -1,0 +1,3 @@
+module tdd
+
+go 1.22

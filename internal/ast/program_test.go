@@ -1,0 +1,161 @@
+package ast
+
+import (
+	"reflect"
+	"testing"
+)
+
+func skiProgram(t *testing.T) *Program {
+	t.Helper()
+	rules := []Rule{
+		planeRule(),
+		{
+			Head: TemporalAtom("plane", tvar("T", 2), Var("X")),
+			Body: []Atom{
+				TemporalAtom("plane", tvar("T", 0), Var("X")),
+				NonTemporalAtom("resort", Var("X")),
+				TemporalAtom("winter", tvar("T", 0)),
+			},
+		},
+		{
+			Head: TemporalAtom("offseason", tvar("T", 365)),
+			Body: []Atom{TemporalAtom("offseason", tvar("T", 0))},
+		},
+	}
+	p, err := NewProgram(rules)
+	if err != nil {
+		t.Fatalf("NewProgram: %v", err)
+	}
+	return p
+}
+
+func TestNewProgramSignatures(t *testing.T) {
+	p := skiProgram(t)
+	want := map[string]PredInfo{
+		"plane":     {Name: "plane", Temporal: true, Arity: 1},
+		"resort":    {Name: "resort", Temporal: false, Arity: 1},
+		"offseason": {Name: "offseason", Temporal: true, Arity: 0},
+		"winter":    {Name: "winter", Temporal: true, Arity: 0},
+	}
+	if !reflect.DeepEqual(p.Preds, want) {
+		t.Errorf("Preds = %v, want %v", p.Preds, want)
+	}
+}
+
+func TestNewProgramInconsistent(t *testing.T) {
+	rules := []Rule{
+		{Head: NonTemporalAtom("p", Var("X")), Body: []Atom{NonTemporalAtom("q", Var("X"))}},
+		{Head: TemporalAtom("p", tvar("T", 0), Var("X")), Body: []Atom{TemporalAtom("q2", tvar("T", 0), Var("X"))}},
+	}
+	if _, err := NewProgram(rules); err == nil {
+		t.Fatal("expected inconsistent-signature error")
+	}
+	rules2 := []Rule{
+		{Head: NonTemporalAtom("p", Var("X")), Body: []Atom{NonTemporalAtom("q", Var("X"))}},
+		{Head: NonTemporalAtom("p", Var("X"), Var("Y")), Body: []Atom{NonTemporalAtom("q", Var("X")), NonTemporalAtom("q", Var("Y"))}},
+	}
+	if _, err := NewProgram(rules2); err == nil {
+		t.Fatal("expected arity-mismatch error")
+	}
+}
+
+func TestDerivedAndEDB(t *testing.T) {
+	p := skiProgram(t)
+	if got := p.Derived(); !reflect.DeepEqual(got, []string{"offseason", "plane"}) {
+		t.Errorf("Derived = %v", got)
+	}
+	if got := p.EDB(); !reflect.DeepEqual(got, []string{"resort", "winter"}) {
+		t.Errorf("EDB = %v", got)
+	}
+}
+
+func TestLookback(t *testing.T) {
+	p := skiProgram(t)
+	if g := p.Lookback(); g != 365 {
+		t.Errorf("Lookback = %d, want 365", g)
+	}
+	dataOnly, err := NewProgram([]Rule{{
+		Head: TemporalAtom("happy", tvar("T", 0), Var("X")),
+		Body: []Atom{TemporalAtom("happy", tvar("T", 0), Var("Y")), NonTemporalAtom("friend", Var("X"), Var("Y"))},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := dataOnly.Lookback(); g != 1 {
+		t.Errorf("data-only Lookback = %d, want 1", g)
+	}
+	nonTemporal, err := NewProgram([]Rule{{
+		Head: NonTemporalAtom("a", Var("X")), Body: []Atom{NonTemporalAtom("b", Var("X"))},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := nonTemporal.Lookback(); g != 0 {
+		t.Errorf("non-temporal Lookback = %d, want 0", g)
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := skiProgram(t)
+	c := p.Clone()
+	c.Rules[0].Head.Time.Depth = 1
+	c.Preds["plane"] = PredInfo{Name: "plane", Temporal: false, Arity: 9}
+	if p.Rules[0].Head.Time.Depth != 7 {
+		t.Error("Clone shares rule structure")
+	}
+	if p.Preds["plane"].Arity != 1 {
+		t.Error("Clone shares Preds map")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	facts := []Fact{
+		{Pred: "plane", Temporal: true, Time: 0, Args: []string{"hunter"}},
+		{Pred: "plane", Temporal: true, Time: 17, Args: []string{"aspen"}},
+		{Pred: "resort", Args: []string{"hunter"}},
+	}
+	d, err := NewDatabase(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxDepth() != 17 {
+		t.Errorf("MaxDepth = %d, want 17", d.MaxDepth())
+	}
+	if d.Size() != 17 {
+		t.Errorf("Size = %d, want 17 (c > n)", d.Size())
+	}
+	if got := d.Constants(); !reflect.DeepEqual(got, []string{"aspen", "hunter"}) {
+		t.Errorf("Constants = %v", got)
+	}
+	want := "resort(hunter).\nplane(0, hunter).\nplane(17, aspen).\n"
+	if got := d.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestDatabaseInconsistent(t *testing.T) {
+	_, err := NewDatabase([]Fact{
+		{Pred: "p", Temporal: true, Time: 0, Args: []string{"a"}},
+		{Pred: "p", Args: []string{"a"}},
+	})
+	if err == nil {
+		t.Fatal("expected error for temporal/non-temporal conflict")
+	}
+}
+
+func TestDatabaseCheckAgainst(t *testing.T) {
+	p := skiProgram(t)
+	good, _ := NewDatabase([]Fact{{Pred: "plane", Temporal: true, Time: 0, Args: []string{"hunter"}}})
+	if err := good.CheckAgainst(p); err != nil {
+		t.Errorf("CheckAgainst(good) = %v", err)
+	}
+	bad, _ := NewDatabase([]Fact{{Pred: "plane", Args: []string{"hunter"}}})
+	if err := bad.CheckAgainst(p); err == nil {
+		t.Error("expected signature mismatch error")
+	}
+	// Predicates unknown to the program are allowed (pure EDB relations).
+	extra, _ := NewDatabase([]Fact{{Pred: "unrelated", Args: []string{"x"}}})
+	if err := extra.CheckAgainst(p); err != nil {
+		t.Errorf("CheckAgainst(extra) = %v", err)
+	}
+}

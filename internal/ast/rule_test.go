@@ -1,0 +1,160 @@
+package ast
+
+import (
+	"testing"
+)
+
+// Helpers shared by several test files in this package.
+
+func tvar(name string, depth int) TemporalTerm { return TemporalTerm{Var: name, Depth: depth} }
+
+// planeRule is the first rule of the paper's travel-agent example:
+// plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+func planeRule() Rule {
+	return Rule{
+		Head: TemporalAtom("plane", tvar("T", 7), Var("X")),
+		Body: []Atom{
+			TemporalAtom("plane", tvar("T", 0), Var("X")),
+			NonTemporalAtom("resort", Var("X")),
+			TemporalAtom("offseason", tvar("T", 0)),
+		},
+	}
+}
+
+// pathRule is the second rule of the paper's graph example:
+// path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+func pathRule() Rule {
+	return Rule{
+		Head: TemporalAtom("path", tvar("K", 1), Var("X"), Var("Z")),
+		Body: []Atom{
+			NonTemporalAtom("edge", Var("X"), Var("Y")),
+			TemporalAtom("path", tvar("K", 0), Var("Y"), Var("Z")),
+		},
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	want := "plane(T+7, X) :- plane(T, X), resort(X), offseason(T)."
+	if got := planeRule().String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestRuleTemporalVarsSemiNormal(t *testing.T) {
+	r := planeRule()
+	if vs := r.TemporalVars(); len(vs) != 1 || vs[0] != "T" {
+		t.Errorf("TemporalVars = %v", vs)
+	}
+	if !r.SemiNormal() {
+		t.Error("plane rule should be semi-normal")
+	}
+	if r.Normal() {
+		t.Error("plane rule has depth 7 and must not be normal")
+	}
+	if !pathRule().Normal() {
+		t.Error("path rule should be normal")
+	}
+	two := Rule{
+		Head: TemporalAtom("p", tvar("T", 0), Var("X")),
+		Body: []Atom{TemporalAtom("q", tvar("S", 0), Var("X")), TemporalAtom("r", tvar("T", 0), Var("X"))},
+	}
+	if two.SemiNormal() {
+		t.Error("rule with two temporal variables should not be semi-normal")
+	}
+}
+
+func TestRuleDepths(t *testing.T) {
+	r := planeRule()
+	if r.MinDepth() != 0 || r.MaxDepth() != 7 {
+		t.Errorf("depths = (%d, %d), want (0, 7)", r.MinDepth(), r.MaxDepth())
+	}
+	nt := Rule{Head: NonTemporalAtom("a", Var("X")), Body: []Atom{NonTemporalAtom("b", Var("X"))}}
+	if nt.MinDepth() != -1 || nt.MaxDepth() != -1 {
+		t.Errorf("non-temporal rule depths = (%d, %d), want (-1, -1)", nt.MinDepth(), nt.MaxDepth())
+	}
+}
+
+func TestShiftNormalize(t *testing.T) {
+	r := Rule{
+		Head: TemporalAtom("p", tvar("T", 5), Var("X")),
+		Body: []Atom{TemporalAtom("q", tvar("T", 2), Var("X"))},
+	}
+	s := r.ShiftNormalize()
+	if s.Head.Time.Depth != 3 || s.Body[0].Time.Depth != 0 {
+		t.Errorf("shifted depths = (%d, %d), want (3, 0)", s.Head.Time.Depth, s.Body[0].Time.Depth)
+	}
+	// Original untouched.
+	if r.Head.Time.Depth != 5 {
+		t.Error("ShiftNormalize mutated its receiver")
+	}
+	// Already-minimal rule is returned as an equal copy.
+	s2 := planeRule().ShiftNormalize()
+	if s2.String() != planeRule().String() {
+		t.Errorf("no-op shift changed rule: %s", s2)
+	}
+}
+
+func TestRecursiveTimeOnlyDataOnly(t *testing.T) {
+	near := Rule{ // time-only and reduced (paper example)
+		Head: TemporalAtom("near", tvar("T", 1), Var("X"), Var("Y")),
+		Body: []Atom{
+			TemporalAtom("near", tvar("T", 0), Var("X"), Var("Y")),
+			TemporalAtom("idle", tvar("T", 0), Var("X")),
+			TemporalAtom("idle", tvar("T", 0), Var("Y")),
+		},
+	}
+	if !near.Recursive() || !near.TimeOnly() || !near.Reduced() {
+		t.Errorf("near: recursive=%v timeOnly=%v reduced=%v", near.Recursive(), near.TimeOnly(), near.Reduced())
+	}
+	if near.DataOnly() {
+		t.Error("near rule should not be data-only")
+	}
+
+	happy := Rule{ // data-only (paper example)
+		Head: TemporalAtom("happy", tvar("T", 0), Var("X")),
+		Body: []Atom{
+			TemporalAtom("happy", tvar("T", 0), Var("Y")),
+			NonTemporalAtom("friend", Var("X"), Var("Y")),
+		},
+	}
+	if !happy.DataOnly() {
+		t.Error("happy rule should be data-only")
+	}
+	if happy.TimeOnly() {
+		t.Error("happy rule should not be time-only")
+	}
+
+	if pathRule().TimeOnly() {
+		t.Error("path rule changes non-temporal args of the recursive predicate; not time-only")
+	}
+	if !planeRule().TimeOnly() {
+		t.Error("plane rule should be time-only")
+	}
+	nonRec := Rule{Head: NonTemporalAtom("a", Var("X")), Body: []Atom{NonTemporalAtom("b", Var("X"))}}
+	if nonRec.Recursive() || nonRec.TimeOnly() || nonRec.DataOnly() {
+		t.Error("non-recursive rule misclassified")
+	}
+}
+
+func TestReduced(t *testing.T) {
+	notReduced := Rule{
+		Head: TemporalAtom("p", tvar("T", 1), Var("X")),
+		Body: []Atom{
+			TemporalAtom("p", tvar("T", 0), Var("X")),
+			NonTemporalAtom("r", Var("X"), Var("W")), // W not in head
+		},
+	}
+	if notReduced.Reduced() {
+		t.Error("rule with extra body variable W reported reduced")
+	}
+}
+
+func TestRuleClone(t *testing.T) {
+	r := planeRule()
+	c := r.Clone()
+	c.Body[0].Time.Depth = 99
+	c.Head.Args[0] = Const("mutated")
+	if r.Body[0].Time.Depth != 0 || r.Head.Args[0] != Var("X") {
+		t.Error("Clone shares structure with original")
+	}
+}

@@ -1,0 +1,119 @@
+package ast
+
+// Subst is a two-sorted substitution: a binding for the (single) temporal
+// variable of a semi-normal rule, and bindings for non-temporal variables.
+// Temporal variables are bound to ground temporal terms (integers);
+// non-temporal variables to constants.
+type Subst struct {
+	TimeVar   string
+	Time      int
+	HasTime   bool
+	NonTempro map[string]string
+}
+
+// NewSubst returns an empty substitution.
+func NewSubst() *Subst { return &Subst{NonTempro: make(map[string]string)} }
+
+// BindTime binds the temporal variable name to instant t. It reports false
+// if the variable is already bound to a different instant.
+func (s *Subst) BindTime(name string, t int) bool {
+	if s.HasTime {
+		return s.TimeVar == name && s.Time == t
+	}
+	s.TimeVar, s.Time, s.HasTime = name, t, true
+	return true
+}
+
+// Bind binds the non-temporal variable name to constant c. It reports
+// false if the variable is already bound to a different constant.
+func (s *Subst) Bind(name, c string) bool {
+	if prev, ok := s.NonTempro[name]; ok {
+		return prev == c
+	}
+	s.NonTempro[name] = c
+	return true
+}
+
+// ApplyAtom instantiates atom a under the substitution. It reports ok=false
+// if a variable in a is unbound (the result would not be ground).
+func (s *Subst) ApplyAtom(a Atom) (Fact, bool) {
+	f := Fact{Pred: a.Pred}
+	if a.Time != nil {
+		f.Temporal = true
+		if a.Time.Ground() {
+			f.Time = a.Time.Depth
+		} else {
+			if !s.HasTime || s.TimeVar != a.Time.Var {
+				return Fact{}, false
+			}
+			f.Time = s.Time + a.Time.Depth
+		}
+	}
+	f.Args = make([]string, len(a.Args))
+	for i, sym := range a.Args {
+		if !sym.IsVar {
+			f.Args[i] = sym.Name
+			continue
+		}
+		c, ok := s.NonTempro[sym.Name]
+		if !ok {
+			return Fact{}, false
+		}
+		f.Args[i] = c
+	}
+	return f, true
+}
+
+// MatchArgs unifies the non-temporal argument pattern args against the
+// ground tuple, extending the substitution. It reports false (leaving the
+// substitution possibly partially extended; callers use a fresh copy or
+// checkpoint) on mismatch.
+func (s *Subst) MatchArgs(args []Symbol, tuple []string) bool {
+	if len(args) != len(tuple) {
+		return false
+	}
+	for i, sym := range args {
+		if sym.IsVar {
+			if !s.Bind(sym.Name, tuple[i]) {
+				return false
+			}
+			continue
+		}
+		if sym.Name != tuple[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the substitution.
+func (s *Subst) Clone() *Subst {
+	c := &Subst{TimeVar: s.TimeVar, Time: s.Time, HasTime: s.HasTime,
+		NonTempro: make(map[string]string, len(s.NonTempro))}
+	for k, v := range s.NonTempro {
+		c.NonTempro[k] = v
+	}
+	return c
+}
+
+// RenameApart returns a copy of rule r with every variable prefixed so that
+// it shares no variables with any other rule. Used by transformations that
+// splice rule bodies together.
+func RenameApart(r Rule, prefix string) Rule {
+	c := r.Clone()
+	rename := func(a *Atom) {
+		if a.Time != nil && !a.Time.Ground() {
+			a.Time.Var = prefix + a.Time.Var
+		}
+		for i := range a.Args {
+			if a.Args[i].IsVar {
+				a.Args[i].Name = prefix + a.Args[i].Name
+			}
+		}
+	}
+	rename(&c.Head)
+	for i := range c.Body {
+		rename(&c.Body[i])
+	}
+	return c
+}

@@ -1,0 +1,113 @@
+package ast
+
+import (
+	"testing"
+)
+
+func TestSubstBindTime(t *testing.T) {
+	s := NewSubst()
+	if !s.BindTime("T", 5) {
+		t.Fatal("first bind failed")
+	}
+	if !s.BindTime("T", 5) {
+		t.Error("re-bind to same instant failed")
+	}
+	if s.BindTime("T", 6) {
+		t.Error("re-bind to different instant succeeded")
+	}
+	if s.BindTime("S", 5) {
+		t.Error("bind of a second temporal variable succeeded")
+	}
+}
+
+func TestSubstBind(t *testing.T) {
+	s := NewSubst()
+	if !s.Bind("X", "a") || !s.Bind("X", "a") {
+		t.Error("consistent binds failed")
+	}
+	if s.Bind("X", "b") {
+		t.Error("conflicting bind succeeded")
+	}
+	if !s.Bind("Y", "b") {
+		t.Error("independent bind failed")
+	}
+}
+
+func TestSubstApplyAtom(t *testing.T) {
+	s := NewSubst()
+	s.BindTime("T", 3)
+	s.Bind("X", "hunter")
+	a := TemporalAtom("plane", tvar("T", 7), Var("X"))
+	f, ok := s.ApplyAtom(a)
+	if !ok {
+		t.Fatal("ApplyAtom failed")
+	}
+	if f.Time != 10 || f.Args[0] != "hunter" {
+		t.Errorf("fact = %v", f)
+	}
+	// Unbound variable.
+	if _, ok := s.ApplyAtom(NonTemporalAtom("r", Var("Z"))); ok {
+		t.Error("ApplyAtom succeeded with unbound variable")
+	}
+	// Wrong temporal variable.
+	if _, ok := s.ApplyAtom(TemporalAtom("p", tvar("S", 0))); ok {
+		t.Error("ApplyAtom succeeded with unbound temporal variable")
+	}
+	// Ground temporal term passes through.
+	g, ok := s.ApplyAtom(TemporalAtom("p", TemporalTerm{Depth: 9}))
+	if !ok || g.Time != 9 {
+		t.Errorf("ground temporal ApplyAtom = %v, %v", g, ok)
+	}
+	// Constants pass through.
+	c, ok := s.ApplyAtom(NonTemporalAtom("r", Const("k")))
+	if !ok || c.Args[0] != "k" {
+		t.Errorf("constant ApplyAtom = %v, %v", c, ok)
+	}
+}
+
+func TestSubstMatchArgs(t *testing.T) {
+	s := NewSubst()
+	args := []Symbol{Var("X"), Const("b"), Var("X")}
+	if !s.MatchArgs(args, []string{"a", "b", "a"}) {
+		t.Error("expected match")
+	}
+	s2 := NewSubst()
+	if s2.MatchArgs(args, []string{"a", "b", "c"}) {
+		t.Error("inconsistent repeated variable matched")
+	}
+	s3 := NewSubst()
+	if s3.MatchArgs(args, []string{"a", "x", "a"}) {
+		t.Error("constant mismatch matched")
+	}
+	if s3.MatchArgs(args, []string{"a", "b"}) {
+		t.Error("arity mismatch matched")
+	}
+}
+
+func TestSubstClone(t *testing.T) {
+	s := NewSubst()
+	s.BindTime("T", 1)
+	s.Bind("X", "a")
+	c := s.Clone()
+	c.Bind("Y", "b")
+	if _, ok := s.NonTempro["Y"]; ok {
+		t.Error("Clone shares binding map")
+	}
+	if !c.HasTime || c.Time != 1 {
+		t.Error("Clone lost temporal binding")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	r := planeRule()
+	rn := RenameApart(r, "v0_")
+	if rn.Head.Time.Var != "v0_T" || rn.Body[1].Args[0].Name != "v0_X" {
+		t.Errorf("rename: %s", rn)
+	}
+	// Constants are untouched.
+	r2 := Rule{Head: NonTemporalAtom("p", Var("X")), Body: []Atom{NonTemporalAtom("q", Var("X"), Const("c"))}}
+	rn2 := RenameApart(r2, "w_")
+	if rn2.Body[0].Args[1].Name != "c" {
+		t.Errorf("constant renamed: %s", rn2)
+	}
+}

@@ -1,0 +1,106 @@
+package ast
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidateRuleAccepts(t *testing.T) {
+	for _, r := range []Rule{planeRule(), pathRule()} {
+		if err := ValidateRule(r); err != nil {
+			t.Errorf("ValidateRule(%s) = %v", r, err)
+		}
+	}
+}
+
+func TestValidateRuleRangeRestriction(t *testing.T) {
+	r := Rule{
+		Head: NonTemporalAtom("p", Var("X"), Var("Y")),
+		Body: []Atom{NonTemporalAtom("q", Var("X"))},
+	}
+	if err := ValidateRule(r); !errors.Is(err, ErrNotRangeRestricted) {
+		t.Errorf("err = %v, want ErrNotRangeRestricted", err)
+	}
+	// Temporal head variable must also appear in the body.
+	r2 := Rule{
+		Head: TemporalAtom("p", tvar("T", 1), Var("X")),
+		Body: []Atom{NonTemporalAtom("q", Var("X"))},
+	}
+	if err := ValidateRule(r2); !errors.Is(err, ErrNotRangeRestricted) {
+		t.Errorf("err = %v, want ErrNotRangeRestricted", err)
+	}
+}
+
+func TestValidateRuleSemiNormal(t *testing.T) {
+	r := Rule{
+		Head: TemporalAtom("p", tvar("T", 0), Var("X")),
+		Body: []Atom{TemporalAtom("q", tvar("S", 0), Var("X")), TemporalAtom("r", tvar("T", 0), Var("X"))},
+	}
+	if err := ValidateRule(r); !errors.Is(err, ErrNotSemiNormal) {
+		t.Errorf("err = %v, want ErrNotSemiNormal", err)
+	}
+}
+
+func TestValidateRuleGroundTemporal(t *testing.T) {
+	r := Rule{
+		Head: TemporalAtom("p", TemporalTerm{Depth: 3}, Var("X")),
+		Body: []Atom{NonTemporalAtom("q", Var("X"))},
+	}
+	if err := ValidateRule(r); !errors.Is(err, ErrGroundTemporal) {
+		t.Errorf("err = %v, want ErrGroundTemporal", err)
+	}
+}
+
+func TestValidateRuleSortConflict(t *testing.T) {
+	r := Rule{
+		Head: TemporalAtom("p", tvar("T", 1)),
+		Body: []Atom{TemporalAtom("q", tvar("T", 0)), NonTemporalAtom("r", Var("T"))},
+	}
+	if err := ValidateRule(r); !errors.Is(err, ErrSortConflict) {
+		t.Errorf("err = %v, want ErrSortConflict", err)
+	}
+}
+
+func TestValidateForward(t *testing.T) {
+	if err := ValidateForward(planeRule()); err != nil {
+		t.Errorf("plane rule should be forward: %v", err)
+	}
+	backward := Rule{
+		Head: TemporalAtom("p", tvar("T", 0), Var("X")),
+		Body: []Atom{TemporalAtom("q", tvar("T", 5), Var("X"))},
+	}
+	if err := ValidateForward(backward); !errors.Is(err, ErrNotForward) {
+		t.Errorf("err = %v, want ErrNotForward", err)
+	}
+	// Shift-normalization applies before the check: head at T+3, body at
+	// T+1 and T+3 is forward.
+	ok := Rule{
+		Head: TemporalAtom("p", tvar("T", 3), Var("X")),
+		Body: []Atom{TemporalAtom("q", tvar("T", 1), Var("X")), TemporalAtom("r", tvar("T", 3), Var("X"))},
+	}
+	if err := ValidateForward(ok); err != nil {
+		t.Errorf("shifted rule should be forward: %v", err)
+	}
+	// Non-temporal heads are always forward.
+	nt := Rule{
+		Head: NonTemporalAtom("ever", Var("X")),
+		Body: []Atom{TemporalAtom("p", tvar("T", 0), Var("X"))},
+	}
+	if err := ValidateForward(nt); err != nil {
+		t.Errorf("non-temporal-head rule should be forward: %v", err)
+	}
+}
+
+func TestValidateProgram(t *testing.T) {
+	p := skiProgram(t)
+	if err := ValidateProgram(p); err != nil {
+		t.Fatalf("ValidateProgram(ski) = %v", err)
+	}
+	unit, err := NewProgram([]Rule{{Head: NonTemporalAtom("p", Const("a"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProgram(unit); err == nil {
+		t.Error("expected unit-clause rejection")
+	}
+}

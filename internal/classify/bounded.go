@@ -1,0 +1,32 @@
+package classify
+
+import (
+	"fmt"
+
+	"tdd/internal/ast"
+	"tdd/internal/baseline"
+)
+
+// BoundednessRounds returns the number of T_P rounds a function-free
+// Datalog program needs to reach its least fixpoint on the given database.
+// A program is strongly k-bounded (Gaifman et al. 1987; the notion behind
+// Theorem 6.2) iff this number is at most k for every database — a
+// property that is undecidable in general, which is exactly why testing
+// I-periodicity is undecidable. This empirical per-database probe is what
+// the library can offer: tests combine it with Temporalize to observe the
+// Theorem 6.2 correspondence
+//
+//	rounds(S, D)  <->  stabilization point of the temporalized S' on D'.
+func BoundednessRounds(p *ast.Program, db *ast.Database) (int, error) {
+	for name, info := range p.Preds {
+		if info.Temporal {
+			return 0, fmt.Errorf("classify: BoundednessRounds needs function-free Datalog; %s is temporal", name)
+		}
+	}
+	_, stats, err := baseline.NaiveTP(p, db, 0)
+	if err != nil {
+		return 0, err
+	}
+	// The final iteration derives nothing; it only detects the fixpoint.
+	return stats.Iterations - 1, nil
+}

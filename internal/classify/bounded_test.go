@@ -1,0 +1,136 @@
+package classify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tdd/internal/engine"
+	"tdd/internal/parser"
+	"tdd/internal/period"
+)
+
+// chainDB builds p(x0,x1). p(x1,x2). ... of the given length.
+func chainDB(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "p(x%d, x%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+const tcRules = `
+a(X, Y) :- p(X, Y).
+a(X, Z) :- p(X, Y), a(Y, Z).
+`
+
+// boundedRules is a classic bounded program: one round of s from p, one
+// more through the q gate, and nothing new afterwards on any database.
+const boundedRules = `
+s(X) :- p0(X).
+s(X) :- s(Y), q(X, Y).
+`
+
+func TestBoundednessRoundsUnboundedGrows(t *testing.T) {
+	prog, err := parser.ParseProgram(tcRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int
+	for _, n := range []int{2, 4, 8, 16} {
+		db, err := parser.ParseDatabase(chainDB(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, err := BoundednessRounds(prog, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds <= prev {
+			t.Errorf("chain %d: rounds = %d, want > %d (transitive closure is unbounded)", n, rounds, prev)
+		}
+		prev = rounds
+	}
+}
+
+func TestBoundednessRoundsBoundedStable(t *testing.T) {
+	prog, err := parser.ParseProgram(boundedRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 8, 32} {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "p0(v%d).\nq(w%d, v%d).\n", i, i, i)
+		}
+		db, err := parser.ParseDatabase(b.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, err := BoundednessRounds(prog, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds > 2 {
+			t.Errorf("n=%d: rounds = %d, want <= 2 (bounded program)", n, rounds)
+		}
+	}
+}
+
+func TestBoundednessRejectsTemporal(t *testing.T) {
+	prog := mustProg(t, "p(T+1) :- p(T).")
+	db, _ := parser.ParseDatabase("")
+	if _, err := BoundednessRounds(prog, db); err == nil {
+		t.Error("temporal program accepted")
+	}
+}
+
+// The Theorem 6.2 correspondence, observed: the temporalized program's
+// least model stabilizes (period 1) at a base tracking the original
+// program's fixpoint rounds — growing for transitive closure, constant for
+// the bounded program.
+func TestTemporalizeTracksBoundedness(t *testing.T) {
+	tcProg, err := parser.ParseProgram(tcRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tProg, err := Temporalize(tcProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevBase int
+	for _, n := range []int{2, 6, 12} {
+		db, err := parser.ParseDatabase(chainDB(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, err := BoundednessRounds(tcProg, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tdb, err := TemporalizeDB(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.New(tProg.Clone(), tdb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _, err := period.Detect(e, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.P != 1 {
+			t.Fatalf("temporalized program period %v, want 1", p)
+		}
+		if p.Base <= prevBase {
+			t.Errorf("chain %d: base = %d did not grow with rounds = %d", n, p.Base, rounds)
+		}
+		// The temporalized model stabilizes within a couple of steps of
+		// the round count (the copy rules add one warm-up step).
+		if p.Base > rounds+2 {
+			t.Errorf("chain %d: base %d far from rounds %d", n, p.Base, rounds)
+		}
+		prevBase = p.Base
+	}
+}

@@ -1,0 +1,67 @@
+package classify
+
+import (
+	"fmt"
+
+	"tdd/internal/ast"
+)
+
+// Temporalize performs the reduction of Theorem 6.2: it turns a
+// function-free Datalog program S into a set of temporal rules S' that
+// counts the iterations of S. Every rule
+//
+//	a(X, Z) :- p(X, Y), a(Y, Z).
+//
+// becomes
+//
+//	a(T+1, X, Z) :- p(T, X, Y), a(T, Y, Z).
+//
+// and every predicate receives a copying rule
+//
+//	a(T+1, X, Y) :- a(T, X, Y).
+//
+// S is strongly k-bounded iff S' is I-periodic with I-period (k, 1) — the
+// reduction by which the paper shows testing I-periodicity undecidable
+// (boundedness detection is undecidable, Gaifman et al. 1987).
+func Temporalize(p *ast.Program) (*ast.Program, error) {
+	for name, info := range p.Preds {
+		if info.Temporal {
+			return nil, fmt.Errorf("classify: Temporalize input must be function-free Datalog; %s is temporal", name)
+		}
+	}
+	tv := ast.TemporalTerm{Var: "T"}
+	tvNext := ast.TemporalTerm{Var: "T", Depth: 1}
+	var out []ast.Rule
+	for _, r := range p.Rules {
+		nr := ast.Rule{Head: ast.TemporalAtom(r.Head.Pred, tvNext, append([]ast.Symbol(nil), r.Head.Args...)...)}
+		for _, a := range r.Body {
+			nr.Body = append(nr.Body, ast.TemporalAtom(a.Pred, tv, append([]ast.Symbol(nil), a.Args...)...))
+		}
+		out = append(out, nr)
+	}
+	for _, name := range sortedPreds(p) {
+		info := p.Preds[name]
+		args := make([]ast.Symbol, info.Arity)
+		for i := range args {
+			args[i] = ast.Var(fmt.Sprintf("X%d", i))
+		}
+		out = append(out, ast.Rule{
+			Head: ast.TemporalAtom(name, tvNext, args...),
+			Body: []ast.Atom{ast.TemporalAtom(name, tv, args...)},
+		})
+	}
+	return ast.NewProgram(out)
+}
+
+// TemporalizeDB extends every tuple of a function-free database with a
+// temporal argument equal to 0, completing the Theorem 6.2 reduction.
+func TemporalizeDB(d *ast.Database) (*ast.Database, error) {
+	facts := make([]ast.Fact, len(d.Facts))
+	for i, f := range d.Facts {
+		if f.Temporal {
+			return nil, fmt.Errorf("classify: TemporalizeDB input must be function-free; %s is temporal", f)
+		}
+		facts[i] = ast.Fact{Pred: f.Pred, Temporal: true, Time: 0, Args: append([]string(nil), f.Args...)}
+	}
+	return ast.NewDatabase(facts)
+}

@@ -1,0 +1,69 @@
+package classify
+
+import (
+	"fmt"
+
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+	"tdd/internal/period"
+)
+
+// TimeOnlyApproximation is the constructive direction of Theorem 6.4: for
+// an I-periodic rule set Z with I-period (b, p) — b database-relative, as
+// returned by IPeriod — and a concrete database D, it builds the
+// mutual-recursion-free, reduced time-only rule set
+//
+//	Z1 = { P(T+p, x̄) :- P(T, x̄)  :  P a temporal predicate of Z }
+//
+// and a database D1 (the least model's facts out to the end of the first
+// full period) such that the least models of Z ∧ D and Z1 ∧ D1 coincide.
+// The paper uses this to show that I-periodic and time-only rules are
+// "very closely related": D1 differs from D only by polynomially many
+// materialized tuples, and its biggest temporal term exceeds D's by a
+// database-independent constant.
+func TimeOnlyApproximation(z *ast.Program, db *ast.Database, ip period.Period) (*ast.Program, *ast.Database, error) {
+	e, err := engine.New(z.Clone(), db)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := db.MaxDepth()
+	horizon := c + ip.Base + ip.P - 1
+	e.EnsureWindow(horizon)
+
+	var rules []ast.Rule
+	for _, name := range sortedPreds(z) {
+		info := z.Preds[name]
+		if !info.Temporal {
+			continue
+		}
+		args := make([]ast.Symbol, info.Arity)
+		for i := range args {
+			args[i] = ast.Var(fmt.Sprintf("X%d", i))
+		}
+		rules = append(rules, ast.Rule{
+			Head: ast.TemporalAtom(name, ast.TemporalTerm{Var: "T", Depth: ip.P}, args...),
+			Body: []ast.Atom{ast.TemporalAtom(name, ast.TemporalTerm{Var: "T"}, args...)},
+		})
+	}
+	z1, err := ast.NewProgram(rules)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var facts []ast.Fact
+	facts = append(facts, e.Store().NonTemporalFacts()...)
+	for t := 0; t <= horizon; t++ {
+		facts = append(facts, e.Store().Snapshot(t)...)
+	}
+	// Database facts beyond the horizon (if any) are kept verbatim.
+	for _, f := range db.Facts {
+		if f.Temporal && f.Time > horizon {
+			facts = append(facts, f)
+		}
+	}
+	d1, err := ast.NewDatabase(facts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return z1, d1, nil
+}

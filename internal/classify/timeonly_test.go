@@ -1,0 +1,93 @@
+package classify
+
+import (
+	"testing"
+
+	"tdd/internal/engine"
+	"tdd/internal/parser"
+	"tdd/internal/period"
+)
+
+// Theorem 6.4, observed: the time-only approximation's least model agrees
+// with the original's on a long window, and Z1 is reduced time-only and
+// mutual-recursion free.
+func TestTimeOnlyApproximationAgrees(t *testing.T) {
+	src := `
+plane(T+3, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+offseason(T+3) :- offseason(T).
+winter(T+3) :- winter(T).
+`
+	prog := mustProg(t, src)
+	ip, err := IPeriod(prog, &IPeriodOptions{MaxAtoms: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := parser.ParseDatabase(`
+plane(1, hunter). resort(hunter). winter(0). winter(2). offseason(1).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1, d1, err := TimeOnlyApproximation(prog, db, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Z1's shape: reduced time-only copy rules, no mutual recursion.
+	for _, r := range z1.Rules {
+		if KindOf(r) != KindTimeOnly || !r.Reduced() {
+			t.Errorf("Z1 rule not reduced time-only: %s", r)
+		}
+	}
+	if !MutualRecursionFree(z1) {
+		t.Error("Z1 has mutual recursion")
+	}
+	// D1's biggest temporal term exceeds D's by the database-independent
+	// constant b + p - 1.
+	if got, want := d1.MaxDepth(), db.MaxDepth()+ip.Base+ip.P-1; got != want {
+		t.Errorf("D1 depth = %d, want %d", got, want)
+	}
+	// The least models coincide over a long window.
+	e, err := engine.New(prog.Clone(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := engine.New(z1, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 100
+	e.EnsureWindow(m)
+	e1.EnsureWindow(m)
+	for tm := 0; tm <= m; tm++ {
+		if e.Store().StateKey(tm) != e1.Store().StateKey(tm) {
+			t.Fatalf("models differ at t=%d:\noriginal: %v\nZ1:       %v",
+				tm, e.Store().State(tm), e1.Store().State(tm))
+		}
+	}
+}
+
+// The transformation also closes the loop with Theorem 6.3: Z1's own
+// I-period (computable because Z1 is trivially multi-separable) is
+// compatible with the original's.
+func TestTimeOnlyApproximationIPeriod(t *testing.T) {
+	prog := mustProg(t, "even(T+2) :- even(T).")
+	ip, err := IPeriod(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := parser.ParseDatabase("even(0).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1, d1, err := TimeOnlyApproximation(prog, db, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := MultiSeparable(z1); !ok {
+		t.Fatalf("Z1 not multi-separable: %s", reason)
+	}
+	if err := VerifyIPeriod(z1, d1, period.Period{Base: ip.Base + ip.P, P: ip.P}, 1<<12); err != nil {
+		t.Errorf("Z1 period incompatible: %v", err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package clitest holds end-to-end tests for the command-line tools: each
+// test builds the real binary and drives it the way a user would.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// binaries builds all three tools once per test run.
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "tddbin")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", binDir, "tdd/cmd/tddquery", "tdd/cmd/tddcheck", "tdd/cmd/tddbench")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			buildErr = &buildFailure{err: err, out: string(out)}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+type buildFailure struct {
+	err error
+	out string
+}
+
+func (b *buildFailure) Error() string { return b.err.Error() + "\n" + b.out }
+
+func run(t *testing.T, tool string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), tool), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const evenUnit = "even(T+2) :- even(T).\neven(0).\n"
+
+const skiUnit = `
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+offseason(T+10) :- offseason(T).
+winter(T+10) :- winter(T).
+winter(0..3).
+offseason(4..9).
+resort(hunter).
+plane(0, hunter).
+`
+
+func TestQueryYesNo(t *testing.T) {
+	file := writeFile(t, "even.tdd", evenUnit)
+	out, err := run(t, "tddquery", file, "even(1000000)", "even(3)")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "?- even(1000000)\nyes") {
+		t.Errorf("missing yes answer:\n%s", out)
+	}
+	if !strings.Contains(out, "?- even(3)\nno") {
+		t.Errorf("missing no answer:\n%s", out)
+	}
+}
+
+func TestQueryOpenAnswers(t *testing.T) {
+	file := writeFile(t, "even.tdd", evenUnit)
+	out, err := run(t, "tddquery", file, "even(T)")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "T=0") || !strings.Contains(out, "T=2") {
+		t.Errorf("missing representative answers:\n%s", out)
+	}
+}
+
+func TestQuerySpecPeriodStateWork(t *testing.T) {
+	file := writeFile(t, "even.tdd", evenUnit)
+	out, err := run(t, "tddquery", "-spec", "-period", "-state", "4", "-work", file)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"period (b=1, p=2)", "W = {3 -> 1}", "M[4]:", "even", "window="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuerySeparateRulesAndFacts(t *testing.T) {
+	rules := writeFile(t, "rules.tdd", "even(T+2) :- even(T).\n")
+	facts := writeFile(t, "facts.tdd", "even(0).\n")
+	out, err := run(t, "tddquery", "-rules", rules, "-facts", facts, "even(8)")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "yes") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	if out, err := run(t, "tddquery", "/nonexistent/file.tdd"); err == nil {
+		t.Errorf("missing file accepted:\n%s", out)
+	}
+	file := writeFile(t, "bad.tdd", "p(")
+	if out, err := run(t, "tddquery", file); err == nil {
+		t.Errorf("syntax error accepted:\n%s", out)
+	}
+	good := writeFile(t, "even.tdd", evenUnit)
+	if out, err := run(t, "tddquery", good, "even("); err == nil {
+		t.Errorf("bad query accepted:\n%s", out)
+	}
+}
+
+func TestCheckSki(t *testing.T) {
+	file := writeFile(t, "ski.tdd", skiUnit)
+	out, err := run(t, "tddcheck", file)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"multi-separable:", "inflationary:", "tractable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "multi-separable:                                yes") {
+		t.Errorf("ski not reported multi-separable:\n%s", out)
+	}
+}
+
+func TestCheckIPeriod(t *testing.T) {
+	file := writeFile(t, "even.tdd", "even(T+2) :- even(T).\n")
+	out, err := run(t, "tddcheck", "-iperiod", file)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "I-period") || !strings.Contains(out, "p=2") {
+		t.Errorf("missing I-period:\n%s", out)
+	}
+}
+
+func TestBenchQuick(t *testing.T) {
+	out, err := run(t, "tddbench", "-quick", "E3", "E4")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"== E3:", "== E4:", "claim:", "64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	out, err := run(t, "tddbench", "E99")
+	if err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestReplSession(t *testing.T) {
+	// Rebuild including tddrepl (not in the shared build set).
+	bin := filepath.Join(t.TempDir(), "tddrepl")
+	if out, err := exec.Command("go", "build", "-o", bin, "tdd/cmd/tddrepl").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	file := writeFile(t, "even.tdd", evenUnit)
+	cmd := exec.Command(bin, file)
+	cmd.Stdin = strings.NewReader(`
+even(4)
+even(3)
+even(T)
+:period
+:state 2
+:help
+:nonsense
+bad query(
+:quit
+`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"yes", "no", "T=0", "T=2", "period (b=1, p=2)", "M[2]:", "unknown command", "error:", "commands:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in session:\n%s", want, s)
+		}
+	}
+}
+
+func TestExamplesEndToEnd(t *testing.T) {
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"quickstart", []string{"even(1000000)? true", "T=0", "certified period: (b=1, p=2)"}},
+		{"skiresort", []string{"multi-separable: true", "plane on day  3662 to hunter? true"}},
+		{"reachability", []string{"inflationary: true", "path(10^6, a, d)? true", "shortest path a -> e: length 2"}},
+		{"counter", []string{"tractable=false", "1024"}},
+		{"monitoring", []string{"alert(1000000, ingest)? true", "alice", "bob"}},
+		{"functional", []string{"2047", `p("fgfg")? true`, `p("fgf" )? false`}},
+		{"itinerary", []string{"p=210", "earliest day at port  : 3", "at(100000, port)? true"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "tdd/examples/"+c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v\n%s", err, out)
+			}
+			for _, want := range c.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("missing %q in output:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestQueryExplain(t *testing.T) {
+	file := writeFile(t, "even.tdd", evenUnit)
+	out, err := run(t, "tddquery", "-explain", file, "even(6)")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"[by even(T+2) :- even(T). with T=4]", "[database fact]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Open queries still answer, with a note instead of a tree.
+	out, err = run(t, "tddquery", "-explain", file, "even(T)")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no derivation tree") {
+		t.Errorf("missing note for open query:\n%s", out)
+	}
+}
+
+func TestSpecSaveLoad(t *testing.T) {
+	file := writeFile(t, "ski.tdd", skiUnit)
+	specFile := filepath.Join(t.TempDir(), "ski.spec")
+	out, err := run(t, "tddquery", "-savespec", specFile, file)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "specification written") {
+		t.Errorf("missing confirmation:\n%s", out)
+	}
+	out, err = run(t, "tddquery", "-fromspec", specFile, "-period", "plane(1000002, hunter)", "plane(T, hunter)")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"period (b=", "?- plane(1000002, hunter)\nyes", "T="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if out, err := run(t, "tddquery", "-fromspec", "/nonexistent.spec", "p(0)"); err == nil {
+		t.Errorf("missing spec file accepted:\n%s", out)
+	}
+}
+
+func TestFddbTool(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "tddfddb")
+	if out, err := exec.Command("go", "build", "-o", bin, "tdd/cmd/tddfddb").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	file := writeFile(t, "reach.fdb", "reach(f(V)) :- reach(V).\nreach(g(V)) :- reach(V).\nreach(0).\n")
+	cmd := exec.Command(bin, "-depth", "4", file, "reach(f(g(0)))", "reach(f(f(f(0))))")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{`alphabet: "fg"`, "4              16", "?- reach(f(g(0)))\ntrue", "?- reach(f(f(f(0))))\ntrue"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Syntax error path.
+	bad := writeFile(t, "bad.fdb", "p(ff(V)) :- p(V).\n")
+	if out, err := exec.Command(bin, bad).CombinedOutput(); err == nil {
+		t.Errorf("bad file accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,218 @@
+// Package core implements the paper's primary contribution: algorithm BT
+// (Figure 1) — bottom-up, polynomial-time query processing for temporal
+// deductive databases with polynomially bounded periods.
+//
+// BT as printed iterates L' := T_{Z∧D}(L) over a window 0..m, where
+// m = max(c, h) + range(Z ∧ D), until the window and the non-temporal part
+// stabilize, then answers L ⊨ Q. The oracle bound range(Z ∧ D) (the number
+// of distinct states of the least model) is not known in advance, so this
+// implementation grows the window adaptively until the period of the least
+// model is certified (period.Detect); the certified period plays exactly
+// the role of range(Z ∧ D): beyond base+period every state is a repetition.
+// For a polynomially periodic rule set the certified window — and hence the
+// total work — is polynomial in the database size, which is Theorem 4.1;
+// the relational specification then answers queries of arbitrary temporal
+// depth h in O(1) rewrites, removing BT's dependence on h altogether.
+package core
+
+import (
+	"fmt"
+
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+	"tdd/internal/period"
+	"tdd/internal/query"
+	"tdd/internal/spec"
+)
+
+// DefaultMaxWindow bounds the adaptive window growth. Theorem 3.1 only
+// guarantees a period at most exponential in the database; the budget turns
+// pathological (non-polynomially-periodic) inputs into errors instead of
+// runaway computation.
+const DefaultMaxWindow = 1 << 20
+
+// BT is a query processor for one temporal deductive database Z ∧ D.
+type BT struct {
+	eval      *engine.Evaluator
+	maxWindow int
+	spec      *spec.Spec // computed lazily
+	preds     map[string]ast.PredInfo
+}
+
+// Option configures a BT processor.
+type Option func(*BT)
+
+// WithMaxWindow overrides the window budget used when certifying the
+// period of the least model.
+func WithMaxWindow(m int) Option {
+	return func(b *BT) { b.maxWindow = m }
+}
+
+// New validates and compiles the TDD. The program must be
+// range-restricted, semi-normal, and forward.
+func New(prog *ast.Program, db *ast.Database, opts ...Option) (*BT, error) {
+	e, err := engine.New(prog, db)
+	if err != nil {
+		return nil, err
+	}
+	b := &BT{eval: e, maxWindow: DefaultMaxWindow, preds: make(map[string]ast.PredInfo)}
+	for k, v := range prog.Preds {
+		b.preds[k] = v
+	}
+	for k, v := range db.Preds {
+		b.preds[k] = v
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b, nil
+}
+
+// Preds returns the predicate signatures of the TDD (program and database
+// combined); parsers use them to type queries.
+func (b *BT) Preds() map[string]ast.PredInfo { return b.preds }
+
+// Evaluator exposes the underlying bottom-up engine.
+func (b *BT) Evaluator() *engine.Evaluator { return b.eval }
+
+// Specification computes (and caches) the relational specification
+// S = (T, B, W) of the least model.
+func (b *BT) Specification() (*spec.Spec, error) {
+	if b.spec != nil {
+		return b.spec, nil
+	}
+	s, err := spec.Compute(b.eval, b.maxWindow)
+	if err != nil {
+		return nil, err
+	}
+	b.spec = s
+	return s, nil
+}
+
+// Period returns the certified minimal period of the least model.
+func (b *BT) Period() (period.Period, error) {
+	s, err := b.Specification()
+	if err != nil {
+		return period.Period{}, err
+	}
+	return s.Period, nil
+}
+
+// AskFact answers a yes-no ground atomic query. Queries whose temporal
+// depth lies within the already-evaluated window are answered directly;
+// deeper queries are answered through the relational specification (one
+// rewrite plus a lookup), so the temporal depth h contributes O(1) work —
+// the heart of the tractability argument.
+func (b *BT) AskFact(f ast.Fact) (bool, error) {
+	if f.Temporal && f.Time > b.eval.Window() {
+		s, err := b.Specification()
+		if err != nil {
+			return false, err
+		}
+		return s.HoldsFact(f), nil
+	}
+	if !f.Temporal {
+		// Non-temporal consequences accumulate over the whole model; only
+		// the specification window is guaranteed complete.
+		s, err := b.Specification()
+		if err != nil {
+			return false, err
+		}
+		return s.HoldsFact(f), nil
+	}
+	return b.eval.Holds(f), nil
+}
+
+// Ask answers a closed temporal first-order query over the relational
+// specification (sound for every temporal query by Proposition 3.1;
+// negation is evaluated under the Closed World Assumption).
+func (b *BT) Ask(q ast.Query) (bool, error) {
+	s, err := b.Specification()
+	if err != nil {
+		return false, err
+	}
+	return query.Eval(s, q)
+}
+
+// Answers enumerates the answer substitutions of an open query. Temporal
+// bindings are representative terms; together with the specification's
+// rewrite rule each represents an infinite family of concrete answers
+// (Section 3.3).
+func (b *BT) Answers(q ast.Query) ([]query.Answer, error) {
+	s, err := b.Specification()
+	if err != nil {
+		return nil, err
+	}
+	return query.Answers(s, q)
+}
+
+// WorkSummary describes the polynomial-cost certificate of a processed
+// database: the window BT needed, the period it certified, and the fact
+// counts. Used by the experiment harness.
+type WorkSummary struct {
+	Window  int
+	Period  period.Period
+	Derived int
+	Firings int
+	Facts   int
+}
+
+func (w WorkSummary) String() string {
+	return fmt.Sprintf("window=%d period=%v derived=%d firings=%d facts=%d",
+		w.Window, w.Period, w.Derived, w.Firings, w.Facts)
+}
+
+// Work computes the specification (if needed) and reports the work done.
+func (b *BT) Work() (WorkSummary, error) {
+	s, err := b.Specification()
+	if err != nil {
+		return WorkSummary{}, err
+	}
+	st := b.eval.Stats()
+	return WorkSummary{
+		Window:  b.eval.Window(),
+		Period:  s.Period,
+		Derived: st.Derived,
+		Firings: st.Firings,
+		Facts:   b.eval.Store().Len(),
+	}, nil
+}
+
+// Explain renders the derivation tree of a ground atomic fact. Provenance
+// must have been enabled at construction (core.WithProvenance). Queries
+// beyond the evaluated window are first rewritten to their representative
+// time through the specification; the rendered tree then explains the
+// representative instance, which by periodicity is the same up to a time
+// shift.
+func (b *BT) Explain(f ast.Fact, maxDepth int) (string, error) {
+	prefix := ""
+	if f.Temporal && f.Time > b.eval.Window() {
+		s, err := b.Specification()
+		if err != nil {
+			return "", err
+		}
+		rewritten := s.Rewrite(f.Time)
+		if rewritten != f.Time {
+			prefix = fmt.Sprintf("%s rewrites to time %d (period %v):\n", f, rewritten, s.Period)
+			f.Time = rewritten
+		}
+	}
+	out, err := b.eval.Explain(f, maxDepth)
+	if err != nil {
+		return "", err
+	}
+	return prefix + out, nil
+}
+
+// WithProvenance enables derivation recording so Explain works. It costs
+// one bookkeeping entry per derived fact.
+func WithProvenance() Option {
+	return func(b *BT) {
+		// New has already constructed the evaluator; recording must start
+		// before the first evaluation, which holds because options run in
+		// New before any query.
+		if err := b.eval.EnableProvenance(); err != nil {
+			panic("core: " + err.Error())
+		}
+	}
+}

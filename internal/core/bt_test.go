@@ -1,0 +1,209 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tdd/internal/ast"
+	"tdd/internal/parser"
+	"tdd/internal/period"
+)
+
+func mustBT(t *testing.T, src string, opts ...Option) *BT {
+	t.Helper()
+	prog, db, err := parser.ParseUnit(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	b, err := New(prog, db, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return b
+}
+
+func (b *BT) mustQuery(t *testing.T, src string) ast.Query {
+	t.Helper()
+	q, err := parser.ParseQuery(src, b.Preds())
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", src, err)
+	}
+	return q
+}
+
+const skiSrc = `
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+offseason(T+10) :- offseason(T).
+winter(T+10) :- winter(T).
+holiday(T+10) :- holiday(T).
+winter(0). winter(1). winter(2). winter(3).
+offseason(4). offseason(5). offseason(6). offseason(7). offseason(8). offseason(9).
+holiday(1).
+resort(hunter).
+plane(0, hunter).
+`
+
+func tfact(pred string, time int, args ...string) ast.Fact {
+	return ast.Fact{Pred: pred, Temporal: true, Time: time, Args: args}
+}
+
+func TestAskFactShallowAndDeep(t *testing.T) {
+	b := mustBT(t, skiSrc)
+	// Deep query forces the specification path.
+	got, err := b.AskFact(tfact("plane", 1000002, "hunter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000002 mod 10 = 2, a winter day reachable from the cycle.
+	want, err := b.AskFact(tfact("plane", 22, "hunter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("deep/shallow disagreement: plane(1000002)=%v plane(22)=%v", got, want)
+	}
+	// Non-temporal query.
+	got, err = b.AskFact(ast.Fact{Pred: "resort", Args: []string{"hunter"}})
+	if err != nil || !got {
+		t.Errorf("resort(hunter) = %v, %v", got, err)
+	}
+}
+
+func TestAskClosedQueries(t *testing.T) {
+	b := mustBT(t, skiSrc)
+	cases := map[string]bool{
+		"plane(0, hunter)":                             true,
+		"plane(3, hunter)":                             false,
+		"exists T (plane(T, hunter) & holiday(T))":     true,
+		"forall X (!resort(X) | exists T plane(T, X))": true,
+	}
+	for src, want := range cases {
+		got, err := b.Ask(b.mustQuery(t, src))
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestAnswers(t *testing.T) {
+	b := mustBT(t, skiSrc)
+	ans, err := b.Answers(b.mustQuery(t, "plane(T, hunter) & winter(T)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) == 0 {
+		t.Fatal("no answers")
+	}
+	for _, a := range ans {
+		if a.Temporal["T"]%10 > 3 {
+			t.Errorf("answer %v is not a winter day", a)
+		}
+	}
+}
+
+func TestPeriodAndWork(t *testing.T) {
+	b := mustBT(t, skiSrc)
+	p, err := b.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P != 10 {
+		t.Errorf("period = %v, want p=10", p)
+	}
+	w, err := b.Work()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Window < p.Base+p.P || w.Derived == 0 || w.Facts == 0 {
+		t.Errorf("work = %+v", w)
+	}
+	if w.String() == "" {
+		t.Error("empty work summary")
+	}
+}
+
+func TestMaxWindowBudget(t *testing.T) {
+	// lcm(2,3,5,7) = 210 > 64: the budgeted processor reports failure
+	// instead of running away.
+	src := `
+a(T+2) :- a(T).
+b(T+3) :- b(T).
+c(T+5) :- c(T).
+d(T+7) :- d(T).
+a(0). b(0). c(0). d(0).
+`
+	b := mustBT(t, src, WithMaxWindow(64))
+	if _, err := b.Period(); err == nil {
+		t.Error("expected window-budget error")
+	}
+	b2 := mustBT(t, src)
+	p, err := b2.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P != 210 {
+		t.Errorf("period = %v, want p=210", p)
+	}
+}
+
+func TestSpecificationCached(t *testing.T) {
+	b := mustBT(t, "even(T+2) :- even(T).\neven(0).")
+	s1, err := b.Specification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := b.Specification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("specification not cached")
+	}
+	if s1.Period != (period.Period{Base: 1, P: 2}) {
+		t.Errorf("period = %v", s1.Period)
+	}
+}
+
+func TestEvenPaperQueries(t *testing.T) {
+	// The worked example of Section 3.3.
+	b := mustBT(t, "even(T+2) :- even(T).\neven(0).")
+	for _, c := range []struct {
+		time int
+		want bool
+	}{{4, true}, {3, false}, {0, true}, {1, false}, {1 << 19, true}} {
+		got, err := b.AskFact(tfact("even", c.time))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("even(%d) = %v, want %v", c.time, got, c.want)
+		}
+	}
+}
+
+func TestExplainThroughBT(t *testing.T) {
+	b := mustBT(t, skiSrc, WithProvenance())
+	out, err := b.Explain(tfact("plane", 2, "hunter"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[database fact]") || !strings.Contains(out, "[by plane(T+2, X)") {
+		t.Errorf("tree:\n%s", out)
+	}
+	// Deep fact goes through the rewrite note.
+	deep, err := b.Explain(tfact("plane", 1000002, "hunter"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(deep, "rewrites to time") {
+		t.Errorf("deep tree:\n%s", deep)
+	}
+	if b.Evaluator() == nil {
+		t.Error("Evaluator accessor nil")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"tdd/internal/ast"
+	"tdd/internal/classify"
+)
+
+// PruneForQuery returns the sub-program of prog that can contribute to the
+// query: the rules whose head predicate the query's predicates transitively
+// depend on. Section 8 of the paper points at Datalog rule-rewriting
+// optimizations (magic sets, [15]) as future work; dependency slicing is
+// the zeroth such optimization, and on TDDs it can do more than save
+// constant factors — dropping an irrelevant subsystem can shrink the least
+// model's certified period from the lcm of all subsystem periods to the
+// one the query actually touches (experiment E9).
+//
+// Soundness: a bottom-up derivation of a fact over a relevant predicate
+// mentions only predicates reachable from it in the dependency graph, so
+// the least models of prog ∧ D and PruneForQuery(prog, q) ∧ D agree on
+// every predicate the query can see.
+func PruneForQuery(prog *ast.Program, q ast.Query) *ast.Program {
+	relevant := make(map[string]bool)
+	var frontier []string
+	for _, a := range ast.QueryAtoms(q) {
+		if !relevant[a.Pred] {
+			relevant[a.Pred] = true
+			frontier = append(frontier, a.Pred)
+		}
+	}
+	g := classify.BuildDepGraph(prog)
+	for len(frontier) > 0 {
+		p := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, dep := range g.Succ[p] {
+			if !relevant[dep] {
+				relevant[dep] = true
+				frontier = append(frontier, dep)
+			}
+		}
+	}
+	var rules []ast.Rule
+	for _, r := range prog.Rules {
+		if relevant[r.Head.Pred] {
+			rules = append(rules, r.Clone())
+		}
+	}
+	// The rules are a subset of a consistent program, so this cannot fail.
+	pruned, err := ast.NewProgram(rules)
+	if err != nil {
+		panic("core: pruned program inconsistent: " + err.Error())
+	}
+	return pruned
+}
+
+// PruneDatabase drops database facts over predicates that no rule of the
+// (already pruned) program and no query atom can see. It complements
+// PruneForQuery when databases carry unrelated relations.
+func PruneDatabase(prog *ast.Program, q ast.Query, db *ast.Database) *ast.Database {
+	relevant := make(map[string]bool, len(prog.Preds))
+	for name := range prog.Preds {
+		relevant[name] = true
+	}
+	for _, a := range ast.QueryAtoms(q) {
+		relevant[a.Pred] = true
+	}
+	var facts []ast.Fact
+	for _, f := range db.Facts {
+		if relevant[f.Pred] {
+			facts = append(facts, f)
+		}
+	}
+	pruned, err := ast.NewDatabase(facts)
+	if err != nil {
+		panic("core: pruned database inconsistent: " + err.Error())
+	}
+	return pruned
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"tdd/internal/parser"
+)
+
+// Two independent subsystems plus a shared EDB relation.
+const twoSystems = `
+a(T+2, X) :- a(T, X), tag(X).
+b(T+3, X) :- b(T, X), tag(X).
+a(0, k). b(0, k). tag(k).
+`
+
+func TestPruneForQuery(t *testing.T) {
+	prog, db, err := parser.ParseUnit(twoSystems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery("a(100, k)", prog.Preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := PruneForQuery(prog, q)
+	if len(pruned.Rules) != 1 || pruned.Rules[0].Head.Pred != "a" {
+		t.Fatalf("pruned rules = %v", pruned.Rules)
+	}
+	if _, ok := pruned.Preds["b"]; ok {
+		t.Error("b not pruned")
+	}
+	if _, ok := pruned.Preds["tag"]; !ok {
+		t.Error("tag (a dependency of a) pruned")
+	}
+	prunedDB := PruneDatabase(pruned, q, db)
+	for _, f := range prunedDB.Facts {
+		if f.Pred == "b" {
+			t.Errorf("b fact survived pruning: %v", f)
+		}
+	}
+	if len(prunedDB.Facts) != 2 {
+		t.Errorf("pruned db = %v", prunedDB.Facts)
+	}
+}
+
+func TestPruneShrinksPeriod(t *testing.T) {
+	prog, db, err := parser.ParseUnit(twoSystems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(prog.Clone(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFull, err := full.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pFull.P != 6 {
+		t.Fatalf("full period = %v, want lcm 6", pFull)
+	}
+
+	q, err := parser.ParseQuery("a(100, k)", prog.Preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := PruneForQuery(prog, q)
+	pdb := PruneDatabase(pp, q, db)
+	slim, err := New(pp, pdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSlim, err := slim.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSlim.P != 2 {
+		t.Fatalf("pruned period = %v, want 2", pSlim)
+	}
+	// Same answers on the query's predicates.
+	ansFull, err := full.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansSlim, err := slim.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ansFull != ansSlim {
+		t.Errorf("pruning changed the answer: full=%v pruned=%v", ansFull, ansSlim)
+	}
+}
+
+func TestPruneAgreementAcrossDepths(t *testing.T) {
+	prog, db, err := parser.ParseUnit(twoSystems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery("a(0, k)", prog.Preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := PruneForQuery(prog, q)
+	pdb := PruneDatabase(pp, q, db)
+	full, err := New(prog.Clone(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slim, err := New(pp, pdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{0, 1, 2, 3, 50, 51, 1000, 1001} {
+		qd, err := parser.ParseQuery("a("+itoa(depth)+", k)", prog.Preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err := full.Ask(qd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := slim.Ask(qd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1 != a2 {
+			t.Errorf("depth %d: full=%v pruned=%v", depth, a1, a2)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"fmt"
+
+	"tdd/internal/ast"
+)
+
+// Stats accumulates work counters for experiments and tests.
+type Stats struct {
+	// Derived counts facts added beyond the database.
+	Derived int
+	// Firings counts successful rule-body instantiations (including those
+	// that rederive an existing fact).
+	Firings int
+	// Sweeps counts full passes over the window (the outer fixpoint driven
+	// by derived non-temporal facts re-sweeps).
+	Sweeps int
+}
+
+// crule is a compiled (shift-normalized) rule.
+type crule struct {
+	src          ast.Rule
+	head         ast.Atom
+	body         []ast.Atom
+	timeVar      string // "" if the rule has no temporal variable
+	headDepth    int    // temporal head depth after shifting; -1 if head non-temporal
+	maxBodyDepth int    // max temporal body depth after shifting; -1 if none
+}
+
+// Evaluator computes the least model of prog ∧ db restricted to a growing
+// temporal window.
+type Evaluator struct {
+	prog  *ast.Program
+	db    *ast.Database
+	store *Store
+	rules []crule
+	// evaluated is the largest time point the window has been closed to;
+	// -1 before the first EnsureWindow.
+	evaluated int
+	stats     Stats
+	// prov, when non-nil, records the first derivation of every derived
+	// fact (see provenance.go).
+	prov map[string]*Derivation
+}
+
+// New compiles and validates a program/database pair. The program must be
+// range-restricted, semi-normal, and forward; see ast.ValidateProgram.
+func New(prog *ast.Program, db *ast.Database) (*Evaluator, error) {
+	if err := ast.ValidateProgram(prog); err != nil {
+		return nil, err
+	}
+	if err := db.CheckAgainst(prog); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{prog: prog, db: db, store: NewStore(), evaluated: -1}
+	for _, r := range prog.Rules {
+		// Rules are compiled with their ORIGINAL depths. Shifting all
+		// depths down by the rule's minimum is not a semantic equivalence:
+		// the temporal variable ranges over 0,1,2,..., so
+		// p(T+3) :- q(T+1) has no instance deriving p(2) — the shifted
+		// rule p(T+2) :- q(T) does. The head depth below doubles as the
+		// rule's enabling time: the rule contributes to states t with
+		// t - headDepth >= 0 only.
+		s := r.Clone()
+		c := crule{src: r, head: s.Head, body: s.Body, headDepth: -1, maxBodyDepth: -1}
+		if tv := s.TemporalVars(); len(tv) == 1 {
+			c.timeVar = tv[0]
+		}
+		if s.Head.Time != nil {
+			c.headDepth = s.Head.Time.Depth
+		}
+		for _, a := range s.Body {
+			if a.Time != nil && !a.Time.Ground() && a.Time.Depth > c.maxBodyDepth {
+				c.maxBodyDepth = a.Time.Depth
+			}
+		}
+		e.rules = append(e.rules, c)
+	}
+	for _, f := range db.Facts {
+		e.store.Insert(f)
+	}
+	return e, nil
+}
+
+// Store exposes the fact store (read-only by convention).
+func (e *Evaluator) Store() *Store { return e.store }
+
+// Stats returns the accumulated work counters.
+func (e *Evaluator) Stats() Stats { return e.stats }
+
+// Database returns the database the evaluator was built with.
+func (e *Evaluator) Database() *ast.Database { return e.db }
+
+// Program returns the program the evaluator was built with.
+func (e *Evaluator) Program() *ast.Program { return e.prog }
+
+// Window returns the largest time point the model is closed to (-1 before
+// the first EnsureWindow call).
+func (e *Evaluator) Window() int { return e.evaluated }
+
+// EnsureWindow extends the evaluated window to cover 0..m. It is
+// incremental: previously closed states are reused, except that newly
+// derived non-temporal facts trigger a re-sweep of the whole window (the
+// outer fixpoint of algorithm BT's "until L_nt = L'_nt" condition).
+func (e *Evaluator) EnsureWindow(m int) {
+	if m <= e.evaluated {
+		return
+	}
+	for t := e.evaluated + 1; t <= m; t++ {
+		e.evalState(t, m)
+	}
+	e.evaluated = m
+	// Outer fixpoint: close non-temporal consequences, re-sweeping the
+	// temporal window until nothing changes.
+	for {
+		nt := e.evalNonTemporalRules(m)
+		if nt == 0 {
+			return
+		}
+		for {
+			added := 0
+			e.stats.Sweeps++
+			for t := 0; t <= m; t++ {
+				added += e.evalState(t, m)
+			}
+			if added == 0 {
+				break
+			}
+		}
+	}
+}
+
+// Holds reports whether the fact is in the least model. The window must
+// already cover the fact's time (callers use EnsureWindow or algorithm BT).
+func (e *Evaluator) Holds(f ast.Fact) bool { return e.store.Has(f) }
+
+// evalState closes state t: a local fixpoint over the rules whose head
+// lands at time t. Returns the number of new facts.
+func (e *Evaluator) evalState(t, m int) int {
+	added := 0
+	first := true
+	for {
+		n := 0
+		for i := range e.rules {
+			r := &e.rules[i]
+			if r.headDepth < 0 {
+				continue // non-temporal heads handled separately
+			}
+			// After the first round only rules that can consume facts of
+			// state t itself (a body literal at the head's depth) can fire
+			// anew.
+			if !first && r.maxBodyDepth < r.headDepth {
+				continue
+			}
+			T := t - r.headDepth
+			if T < 0 {
+				continue
+			}
+			n += e.fireRule(r, T)
+		}
+		added += n
+		first = false
+		if n == 0 {
+			return added
+		}
+	}
+}
+
+// evalNonTemporalRules evaluates every rule with a non-temporal head over
+// the window 0..m, returning the number of new facts.
+func (e *Evaluator) evalNonTemporalRules(m int) int {
+	added := 0
+	for {
+		n := 0
+		for i := range e.rules {
+			r := &e.rules[i]
+			if r.headDepth >= 0 {
+				continue
+			}
+			if r.timeVar == "" {
+				n += e.fireRule(r, 0)
+				continue
+			}
+			for T := 0; T+r.maxBodyDepth <= m; T++ {
+				n += e.fireRule(r, T)
+			}
+		}
+		added += n
+		if n == 0 {
+			return added
+		}
+	}
+}
+
+// env is a mutable binding environment with an undo trail.
+type env struct {
+	time  int // binding of the rule's temporal variable
+	vals  map[string]string
+	trail []string
+}
+
+// fireRule instantiates rule r with its temporal variable bound to T (T is
+// ignored for rules without one) and inserts all derivable head facts.
+// Returns the number of new facts.
+func (e *Evaluator) fireRule(r *crule, T int) int {
+	en := env{time: T, vals: make(map[string]string, 8)}
+	added := 0
+	e.join(r, 0, &en, &added)
+	return added
+}
+
+// join matches body literals from index i onward, and on a complete match
+// emits the head.
+func (e *Evaluator) join(r *crule, i int, en *env, added *int) {
+	if i == len(r.body) {
+		e.stats.Firings++
+		f := e.instantiate(r.head, en)
+		if e.store.Insert(f) {
+			e.stats.Derived++
+			*added++
+			if e.prov != nil {
+				body := make([]ast.Fact, len(r.body))
+				for j, a := range r.body {
+					body[j] = e.instantiate(a, en)
+				}
+				e.prov[factKey(f)] = &Derivation{Rule: r.src, Time: en.time, Body: body}
+			}
+		}
+		return
+	}
+	a := r.body[i]
+	var rs *relset
+	if a.Time != nil {
+		rs = e.store.at(a.Pred, en.time+a.Time.Depth)
+	} else {
+		rs = e.store.nt(a.Pred)
+	}
+	if rs == nil {
+		return
+	}
+	visit := func(tup []string) bool {
+		mark := len(en.trail)
+		if e.matchArgs(a.Args, tup, en) {
+			e.join(r, i+1, en, added)
+		}
+		en.undo(mark)
+		return true
+	}
+	// Use the first-column index when the first argument is already
+	// determined.
+	if len(a.Args) > 0 {
+		first := a.Args[0]
+		if !first.IsVar {
+			rs.withFirst(first.Name, visit)
+			return
+		}
+		if v, ok := en.vals[first.Name]; ok {
+			rs.withFirst(v, visit)
+			return
+		}
+	}
+	rs.all(visit)
+}
+
+// matchArgs unifies the pattern against the tuple, extending en (recording
+// new bindings on the trail). Returns false on mismatch; the caller undoes
+// to its mark either way.
+func (e *Evaluator) matchArgs(args []ast.Symbol, tup []string, en *env) bool {
+	if len(args) != len(tup) {
+		return false
+	}
+	for i, s := range args {
+		if !s.IsVar {
+			if s.Name != tup[i] {
+				return false
+			}
+			continue
+		}
+		if v, ok := en.vals[s.Name]; ok {
+			if v != tup[i] {
+				return false
+			}
+			continue
+		}
+		en.vals[s.Name] = tup[i]
+		en.trail = append(en.trail, s.Name)
+	}
+	return true
+}
+
+func (en *env) undo(mark int) {
+	for len(en.trail) > mark {
+		name := en.trail[len(en.trail)-1]
+		en.trail = en.trail[:len(en.trail)-1]
+		delete(en.vals, name)
+	}
+}
+
+// instantiate builds the ground head fact under en. The rule is
+// range-restricted, so every head variable is bound.
+func (e *Evaluator) instantiate(head ast.Atom, en *env) ast.Fact {
+	f := ast.Fact{Pred: head.Pred}
+	if head.Time != nil {
+		f.Temporal = true
+		f.Time = en.time + head.Time.Depth
+	}
+	f.Args = make([]string, len(head.Args))
+	for i, s := range head.Args {
+		if s.IsVar {
+			v, ok := en.vals[s.Name]
+			if !ok {
+				panic(fmt.Sprintf("engine: unbound head variable %s in %s", s.Name, head))
+			}
+			f.Args[i] = v
+			continue
+		}
+		f.Args[i] = s.Name
+	}
+	return f
+}

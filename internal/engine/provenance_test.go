@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"tdd/internal/parser"
+)
+
+func provEval(t *testing.T, src string) *Evaluator {
+	t.Helper()
+	prog, db, err := parser.ParseUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableProvenance(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestExplainEven(t *testing.T) {
+	e := provEval(t, "even(T+2) :- even(T).\neven(0).")
+	e.EnsureWindow(6)
+	out, err := e.Explain(tfact("even", 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"even(4)   [by even(T+2) :- even(T). with T=2]",
+		"even(2)",
+		"even(0)   [database fact]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The tree nests: even(0) is indented deeper than even(4).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[2], "    ") {
+		t.Errorf("tree shape off:\n%s", out)
+	}
+}
+
+func TestExplainJoin(t *testing.T) {
+	e := provEval(t, `
+path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+null(0).
+node(b).
+edge(a, b).
+`)
+	e.EnsureWindow(2)
+	out, err := e.Explain(tfact("path", 1, "a", "b"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"edge(a, b)   [database fact]", "path(0, b, b)", "node(b)   [database fact]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainDepthCap(t *testing.T) {
+	e := provEval(t, "p(T+1) :- p(T).\np(0).")
+	e.EnsureWindow(30)
+	out, err := e.Explain(tfact("p", 30), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "...") {
+		t.Errorf("depth cap not rendered:\n%s", out)
+	}
+	if strings.Count(out, "\n") > 10 {
+		t.Errorf("depth cap ignored:\n%s", out)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	e := provEval(t, "even(T+2) :- even(T).\neven(0).")
+	e.EnsureWindow(4)
+	if _, err := e.Explain(tfact("even", 3), 0); err == nil {
+		t.Error("explained a fact that does not hold")
+	}
+	// Provenance not enabled.
+	prog, db, err := parser.ParseUnit("even(T+2) :- even(T).\neven(0).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.EnsureWindow(4)
+	if _, err := plain.Explain(tfact("even", 4), 0); err == nil {
+		t.Error("Explain worked without provenance")
+	}
+	if err := plain.EnableProvenance(); err == nil {
+		t.Error("EnableProvenance allowed after evaluation")
+	}
+	if d := plain.Derivation(tfact("even", 4)); d != nil {
+		t.Error("Derivation without provenance")
+	}
+}
+
+func TestDerivationRecordsBody(t *testing.T) {
+	e := provEval(t, "even(T+2) :- even(T).\neven(0).")
+	e.EnsureWindow(4)
+	d := e.Derivation(tfact("even", 2))
+	if d == nil {
+		t.Fatal("no derivation for even(2)")
+	}
+	if d.Time != 0 || len(d.Body) != 1 || d.Body[0].Time != 0 {
+		t.Errorf("derivation = %+v", d)
+	}
+	if e.Derivation(tfact("even", 0)) != nil {
+		t.Error("database fact has a derivation")
+	}
+}

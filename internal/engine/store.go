@@ -1,0 +1,270 @@
+// Package engine implements bottom-up evaluation of temporal deductive
+// databases over a bounded temporal window.
+//
+// The evaluator computes the least Herbrand model of Z ∧ D (van Emden &
+// Kowalski) restricted to the time points 0..m. For forward rule sets —
+// after shift-normalization the head of every rule is at least as deep as
+// each body literal — the restriction of the least model to a window equals
+// the least fixpoint of the window-restricted T_P operator, and facts at
+// time t depend only on facts at times <= t. The engine exploits this with
+// a time-stratified sweep: states are closed in ascending time order, with
+// a local fixpoint per state (for rules whose body touches the state being
+// built) and an outer fixpoint for derived non-temporal facts (which can
+// feed back into any state).
+package engine
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"tdd/internal/ast"
+)
+
+// tupleKey builds a canonical map key for a tuple. \x00 cannot occur in
+// parsed constants.
+func tupleKey(args []string) string { return strings.Join(args, "\x00") }
+
+// relset is a set of tuples with a first-column index for joins.
+type relset struct {
+	m       map[string][]string   // key -> tuple
+	byFirst map[string][][]string // first column -> tuples (arity >= 1 only)
+}
+
+func newRelset() *relset {
+	return &relset{m: make(map[string][]string)}
+}
+
+// insert adds the tuple, reporting whether it was new.
+func (r *relset) insert(args []string) bool {
+	k := tupleKey(args)
+	if _, ok := r.m[k]; ok {
+		return false
+	}
+	stored := append([]string(nil), args...)
+	r.m[k] = stored
+	if len(stored) > 0 {
+		if r.byFirst == nil {
+			r.byFirst = make(map[string][][]string)
+		}
+		r.byFirst[stored[0]] = append(r.byFirst[stored[0]], stored)
+	}
+	return true
+}
+
+func (r *relset) has(args []string) bool {
+	if r == nil {
+		return false
+	}
+	_, ok := r.m[tupleKey(args)]
+	return ok
+}
+
+func (r *relset) size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.m)
+}
+
+// all iterates every tuple.
+func (r *relset) all(f func([]string) bool) {
+	if r == nil {
+		return
+	}
+	for _, tup := range r.m {
+		if !f(tup) {
+			return
+		}
+	}
+}
+
+// withFirst iterates tuples whose first column equals v.
+func (r *relset) withFirst(v string, f func([]string) bool) {
+	if r == nil || r.byFirst == nil {
+		return
+	}
+	for _, tup := range r.byFirst[v] {
+		if !f(tup) {
+			return
+		}
+	}
+}
+
+// Store holds the facts derived so far: temporal relations indexed by
+// predicate and time point, and non-temporal relations by predicate.
+type Store struct {
+	temporal    map[string]map[int]*relset
+	nonTemporal map[string]*relset
+	count       int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		temporal:    make(map[string]map[int]*relset),
+		nonTemporal: make(map[string]*relset),
+	}
+}
+
+// Insert adds a fact, reporting whether it was new.
+func (s *Store) Insert(f ast.Fact) bool {
+	var added bool
+	if f.Temporal {
+		byTime, ok := s.temporal[f.Pred]
+		if !ok {
+			byTime = make(map[int]*relset)
+			s.temporal[f.Pred] = byTime
+		}
+		rs, ok := byTime[f.Time]
+		if !ok {
+			rs = newRelset()
+			byTime[f.Time] = rs
+		}
+		added = rs.insert(f.Args)
+	} else {
+		rs, ok := s.nonTemporal[f.Pred]
+		if !ok {
+			rs = newRelset()
+			s.nonTemporal[f.Pred] = rs
+		}
+		added = rs.insert(f.Args)
+	}
+	if added {
+		s.count++
+	}
+	return added
+}
+
+// Has reports whether the fact is present.
+func (s *Store) Has(f ast.Fact) bool {
+	if f.Temporal {
+		return s.temporal[f.Pred][f.Time].has(f.Args)
+	}
+	return s.nonTemporal[f.Pred].has(f.Args)
+}
+
+// Len returns the total number of stored facts.
+func (s *Store) Len() int { return s.count }
+
+// at returns the temporal relation of pred at time t (nil if empty).
+func (s *Store) at(pred string, t int) *relset { return s.temporal[pred][t] }
+
+// nt returns the non-temporal relation of pred (nil if empty).
+func (s *Store) nt(pred string) *relset { return s.nonTemporal[pred] }
+
+// StateSize returns the number of temporal tuples at time t.
+func (s *Store) StateSize(t int) int {
+	n := 0
+	for _, byTime := range s.temporal {
+		n += byTime[t].size()
+	}
+	return n
+}
+
+// StateKey returns a canonical representation of the state L[t]: the set of
+// atoms P(x̄) with P(t, x̄) in the store, rendered deterministically. Two
+// time points have equal states iff their StateKeys are equal.
+func (s *Store) StateKey(t int) string {
+	var lines []string
+	for pred, byTime := range s.temporal {
+		rs := byTime[t]
+		if rs == nil {
+			continue
+		}
+		for k := range rs.m {
+			lines = append(lines, pred+"\x01"+k)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\x02")
+}
+
+// StateHash returns a 64-bit fingerprint of StateKey(t). Period detection
+// compares hashes first and confirms candidate matches with full keys.
+func (s *Store) StateHash(t int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s.StateKey(t)))
+	return h.Sum64()
+}
+
+// State returns the state L[t] as sorted facts with the temporal argument
+// projected out (the paper's M[t]).
+func (s *Store) State(t int) []ast.Fact {
+	var out []ast.Fact
+	for pred, byTime := range s.temporal {
+		rs := byTime[t]
+		if rs == nil {
+			continue
+		}
+		for _, tup := range rs.m {
+			out = append(out, ast.Fact{Pred: pred, Args: append([]string(nil), tup...)})
+		}
+	}
+	ast.SortFacts(out)
+	return out
+}
+
+// Snapshot returns the snapshot L(t) as sorted temporal facts (the paper's
+// M(t): tuples with their temporal argument).
+func (s *Store) Snapshot(t int) []ast.Fact {
+	var out []ast.Fact
+	for pred, byTime := range s.temporal {
+		rs := byTime[t]
+		if rs == nil {
+			continue
+		}
+		for _, tup := range rs.m {
+			out = append(out, ast.Fact{Pred: pred, Temporal: true, Time: t, Args: append([]string(nil), tup...)})
+		}
+	}
+	ast.SortFacts(out)
+	return out
+}
+
+// NonTemporalFacts returns the non-temporal part L_nt as sorted facts.
+func (s *Store) NonTemporalFacts() []ast.Fact {
+	var out []ast.Fact
+	for pred, rs := range s.nonTemporal {
+		for _, tup := range rs.m {
+			out = append(out, ast.Fact{Pred: pred, Args: append([]string(nil), tup...)})
+		}
+	}
+	ast.SortFacts(out)
+	return out
+}
+
+// NonTemporalCount returns |L_nt|.
+func (s *Store) NonTemporalCount() int {
+	n := 0
+	for _, rs := range s.nonTemporal {
+		n += rs.size()
+	}
+	return n
+}
+
+// Constants returns all non-temporal constants occurring in the store,
+// sorted. This is the active domain used for non-temporal quantification.
+func (s *Store) Constants() []string {
+	set := make(map[string]bool)
+	add := func(tup []string) bool {
+		for _, c := range tup {
+			set[c] = true
+		}
+		return true
+	}
+	for _, rs := range s.nonTemporal {
+		rs.all(add)
+	}
+	for _, byTime := range s.temporal {
+		for _, rs := range byTime {
+			rs.all(add)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

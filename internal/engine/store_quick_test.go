@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"tdd/internal/ast"
+)
+
+// Property: the store is an exact set — after inserting an arbitrary bag
+// of facts, membership holds exactly for the inserted ones and Len counts
+// the distinct ones.
+func TestStoreIsAnExactSet(t *testing.T) {
+	type probe struct {
+		Pred     uint8
+		Temporal bool
+		Time     uint8
+		A, B     uint8
+	}
+	f := func(bag []probe) bool {
+		s := NewStore()
+		want := map[string]bool{}
+		for _, p := range bag {
+			fact := ast.Fact{
+				Pred:     fmt.Sprintf("p%d", p.Pred%4),
+				Temporal: p.Temporal,
+				Args:     []string{fmt.Sprintf("a%d", p.A%3), fmt.Sprintf("b%d", p.B%3)},
+			}
+			if p.Temporal {
+				fact.Time = int(p.Time % 8)
+			}
+			added := s.Insert(fact)
+			key := fact.String()
+			if added == want[key] {
+				return false // Insert must report new-ness exactly
+			}
+			want[key] = true
+		}
+		if s.Len() != len(want) {
+			return false
+		}
+		for _, p := range bag {
+			fact := ast.Fact{
+				Pred:     fmt.Sprintf("p%d", p.Pred%4),
+				Temporal: p.Temporal,
+				Args:     []string{fmt.Sprintf("a%d", p.A%3), fmt.Sprintf("b%d", p.B%3)},
+			}
+			if p.Temporal {
+				fact.Time = int(p.Time % 8)
+			}
+			if !s.Has(fact) {
+				return false
+			}
+			// A near-miss must not be present unless separately inserted.
+			miss := fact
+			miss.Args = []string{"zz", "zz"}
+			if s.Has(miss) && !want[miss.String()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StateKey is permutation-invariant — the canonical state
+// depends only on the set of facts at a time point, not insertion order.
+func TestStateKeyPermutationInvariant(t *testing.T) {
+	f := func(perm []uint8) bool {
+		facts := []ast.Fact{
+			tfact("p", 3, "a"),
+			tfact("p", 3, "b"),
+			tfact("q", 3, "a", "b"),
+			tfact("r", 3),
+		}
+		s1 := NewStore()
+		for _, fa := range facts {
+			s1.Insert(fa)
+		}
+		s2 := NewStore()
+		// Insert in an order driven by the random permutation seed.
+		order := []int{0, 1, 2, 3}
+		for i, p := range perm {
+			j := int(p) % len(order)
+			k := i % len(order)
+			order[j], order[k] = order[k], order[j]
+		}
+		for _, i := range order {
+			s2.Insert(facts[i])
+		}
+		return s1.StateKey(3) == s2.StateKey(3) && s1.StateHash(3) == s2.StateHash(3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

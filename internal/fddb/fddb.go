@@ -1,0 +1,281 @@
+// Package fddb implements functional deductive databases — the
+// generalization of TDDs that the paper's relational specifications come
+// from ([6]) and that Section 7 discusses: instead of the single unary
+// function +1, the functional argument ranges over terms built from a
+// finite alphabet of unary function symbols applied to the constant 0.
+// A ground functional term f(g(0)) is represented as the word "fg"; a rule
+// literal P(f(g(V)), x̄) carries the prefix word "fg" ahead of the
+// functional variable.
+//
+// With one symbol this is exactly a TDD (words = unary numbers). With two
+// or more symbols the term universe branches: the number of ground terms
+// of depth <= m is Θ(|Σ|^m), and — as the paper notes — the proof of
+// Theorem 4.1 does not go through and no tractable subclasses are known.
+// This package provides the part that remains decidable for forward rule
+// sets: bottom-up evaluation of the least model restricted to a depth
+// window, which suffices to answer any ground atomic query (the query's
+// own depth bounds the window). Experiment E10 measures the |Σ|^m blow-up
+// against the linear TDD case.
+package fddb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tdd/internal/ast"
+)
+
+// Term is a functional term: Prefix applied to either the functional
+// variable (HasVar) or to the constant 0. The prefix is a word over the
+// program's alphabet, outermost symbol first: f(g(V)) is {Prefix: "fg",
+// HasVar: true}; the ground term g(0) is {Prefix: "g"}. Var optionally
+// names the variable (each rule has at most one functional variable, so
+// the name is informational; Validate rejects rules whose named terms
+// disagree).
+type Term struct {
+	Prefix string
+	HasVar bool
+	Var    string
+}
+
+func (t Term) String() string {
+	inner := "0"
+	if t.HasVar {
+		inner = "V"
+		if t.Var != "" {
+			inner = t.Var
+		}
+	}
+	out := inner
+	for i := len(t.Prefix) - 1; i >= 0; i-- {
+		out = string(t.Prefix[i]) + "(" + out + ")"
+	}
+	return out
+}
+
+// Atom is a functional or plain atom; Fun is nil for non-functional
+// predicates.
+type Atom struct {
+	Pred string
+	Fun  *Term
+	Args []ast.Symbol
+}
+
+func (a Atom) String() string {
+	var parts []string
+	if a.Fun != nil {
+		parts = append(parts, a.Fun.String())
+	}
+	for _, s := range a.Args {
+		parts = append(parts, s.String())
+	}
+	if len(parts) == 0 {
+		return a.Pred
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Rule is a functional Horn rule with at most one functional variable.
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+// Atoms yields the head followed by the body atoms.
+func (r Rule) Atoms() []Atom {
+	out := make([]Atom, 0, 1+len(r.Body))
+	out = append(out, r.Head)
+	out = append(out, r.Body...)
+	return out
+}
+
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Head.String())
+	if len(r.Body) > 0 {
+		b.WriteString(" :- ")
+		for i, a := range r.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Fact is a ground fact: the functional argument is a ground word (may be
+// empty, meaning the constant 0). Functional reports whether the predicate
+// carries a functional argument at all.
+type Fact struct {
+	Pred       string
+	Functional bool
+	Word       string
+	Args       []string
+}
+
+func (f Fact) String() string {
+	var parts []string
+	if f.Functional {
+		parts = append(parts, Term{Prefix: f.Word}.String())
+	}
+	for _, c := range f.Args {
+		parts = append(parts, c)
+	}
+	if len(parts) == 0 {
+		return f.Pred
+	}
+	return f.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Program is a finite set of functional rules over a fixed alphabet.
+type Program struct {
+	Alphabet string // distinct function symbols, e.g. "fg"
+	Rules    []Rule
+}
+
+// Validation errors.
+var (
+	ErrBadAlphabet    = errors.New("fddb: alphabet symbols must be distinct letters")
+	ErrUnknownSymbol  = errors.New("fddb: function symbol not in the alphabet")
+	ErrNotForward     = errors.New("fddb: rule is not forward (a body prefix is longer than the head prefix)")
+	ErrRangeRestrict  = errors.New("fddb: rule is not range-restricted")
+	ErrGroundFunRule  = errors.New("fddb: ground functional terms are not allowed in rules")
+	ErrMixedPredicate = errors.New("fddb: predicate used inconsistently")
+)
+
+// Validate checks the program: a well-formed alphabet; prefixes drawn from
+// it; at most one functional variable per rule (implicit in the Term
+// representation); range restriction (head variables, including the
+// functional one, occur in the body); forwardness (no body prefix longer
+// than the head's — the condition under which depth-stratified bottom-up
+// evaluation is sound); and consistent predicate signatures.
+func (p *Program) Validate() error {
+	seen := make(map[rune]bool)
+	for _, r := range p.Alphabet {
+		if seen[r] || r < 'a' || r > 'z' {
+			return fmt.Errorf("%w: %q", ErrBadAlphabet, p.Alphabet)
+		}
+		seen[r] = true
+	}
+	sigs := make(map[string][2]int) // pred -> {functional(0/1), arity}
+	note := func(a Atom) error {
+		fun := 0
+		if a.Fun != nil {
+			fun = 1
+		}
+		sig := [2]int{fun, len(a.Args)}
+		if prev, ok := sigs[a.Pred]; ok && prev != sig {
+			return fmt.Errorf("%w: %s", ErrMixedPredicate, a.Pred)
+		}
+		sigs[a.Pred] = sig
+		for _, r := range a.Fun.prefixOrEmpty() {
+			if !seen[r] {
+				return fmt.Errorf("%w: %q in %s", ErrUnknownSymbol, string(r), a)
+			}
+		}
+		return nil
+	}
+	for _, rule := range p.Rules {
+		if err := note(rule.Head); err != nil {
+			return err
+		}
+		// At most one functional variable per rule: all named functional
+		// terms must agree.
+		funName := ""
+		for _, a := range rule.Atoms() {
+			if a.Fun == nil || !a.Fun.HasVar || a.Fun.Var == "" {
+				continue
+			}
+			if funName == "" {
+				funName = a.Fun.Var
+				continue
+			}
+			if a.Fun.Var != funName {
+				return fmt.Errorf("fddb: rule %s uses two functional variables %s and %s", rule, funName, a.Fun.Var)
+			}
+		}
+		bodyVars := make(map[string]bool)
+		bodyHasFunVar := false
+		maxBody := 0
+		for _, a := range rule.Body {
+			if err := note(a); err != nil {
+				return err
+			}
+			if a.Fun != nil {
+				if !a.Fun.HasVar {
+					return fmt.Errorf("%w: %s", ErrGroundFunRule, rule)
+				}
+				bodyHasFunVar = true
+				if len(a.Fun.Prefix) > maxBody {
+					maxBody = len(a.Fun.Prefix)
+				}
+			}
+			for _, s := range a.Args {
+				if s.IsVar {
+					bodyVars[s.Name] = true
+				}
+			}
+		}
+		if rule.Head.Fun != nil {
+			if !rule.Head.Fun.HasVar {
+				return fmt.Errorf("%w: %s", ErrGroundFunRule, rule)
+			}
+			if !bodyHasFunVar {
+				return fmt.Errorf("%w: functional variable of head not in body: %s", ErrRangeRestrict, rule)
+			}
+			if maxBody > len(rule.Head.Fun.Prefix) {
+				return fmt.Errorf("%w: %s", ErrNotForward, rule)
+			}
+		} else if bodyHasFunVar {
+			// Plain head, functional body: fine (like non-temporal heads).
+			_ = bodyHasFunVar
+		}
+		for _, s := range rule.Head.Args {
+			if s.IsVar && !bodyVars[s.Name] {
+				return fmt.Errorf("%w: variable %s of head not in body: %s", ErrRangeRestrict, s.Name, rule)
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Term) prefixOrEmpty() string {
+	if t == nil {
+		return ""
+	}
+	return t.Prefix
+}
+
+// Database is a finite set of ground functional facts.
+type Database struct {
+	Facts []Fact
+}
+
+// MaxDepth returns the maximum word length among functional facts.
+func (d *Database) MaxDepth() int {
+	c := 0
+	for _, f := range d.Facts {
+		if f.Functional && len(f.Word) > c {
+			c = len(f.Word)
+		}
+	}
+	return c
+}
+
+// SortFacts orders facts deterministically for display and tests.
+func SortFacts(fs []Fact) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pred != b.Pred {
+			return a.Pred < b.Pred
+		}
+		if a.Word != b.Word {
+			return a.Word < b.Word
+		}
+		return strings.Join(a.Args, "\x00") < strings.Join(b.Args, "\x00")
+	})
+}

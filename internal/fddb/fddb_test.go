@@ -1,0 +1,242 @@
+package fddb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func funAtom(pred, prefix string, args ...string) Atom {
+	a := Atom{Pred: pred, Fun: &Term{Prefix: prefix, HasVar: true}}
+	for _, v := range args {
+		a.Args = append(a.Args, Var(v))
+	}
+	return a
+}
+
+func plainAtom(pred string, args ...string) Atom {
+	a := Atom{Pred: pred}
+	for _, v := range args {
+		a.Args = append(a.Args, Var(v))
+	}
+	return a
+}
+
+func funFact(pred, word string, args ...string) Fact {
+	return Fact{Pred: pred, Functional: true, Word: word, Args: args}
+}
+
+// evenProgram is the TDD even example written as a one-symbol FDDB:
+// even(s(s(V))) :- even(V).  even(0).
+func evenProgram() (*Program, *Database) {
+	prog := &Program{
+		Alphabet: "s",
+		Rules: []Rule{{
+			Head: funAtom("even", "ss"),
+			Body: []Atom{funAtom("even", "")},
+		}},
+	}
+	db := &Database{Facts: []Fact{funFact("even", "")}}
+	return prog, db
+}
+
+func TestSingleSymbolMatchesTDD(t *testing.T) {
+	prog, db := evenProgram()
+	e, err := NewEvaluator(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= 12; n++ {
+		word := strings.Repeat("s", n)
+		want := n%2 == 0
+		if got := e.Holds(funFact("even", word)); got != want {
+			t.Errorf("even(s^%d(0)) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestTwoSymbolBranching(t *testing.T) {
+	// reach(f(V)) :- reach(V). reach(g(V)) :- reach(V). reach(0).
+	prog := &Program{
+		Alphabet: "fg",
+		Rules: []Rule{
+			{Head: funAtom("reach", "f"), Body: []Atom{funAtom("reach", "")}},
+			{Head: funAtom("reach", "g"), Body: []Atom{funAtom("reach", "")}},
+		},
+	}
+	db := &Database{Facts: []Fact{funFact("reach", "")}}
+	e, err := NewEvaluator(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 8
+	e.EnsureDepth(m)
+	// Every word is reachable: 2^d facts at depth d — the exponential
+	// model growth of Section 7.
+	for d := 0; d <= m; d++ {
+		if got, want := e.Store().FactsAtDepth(d), 1<<d; got != want {
+			t.Errorf("facts at depth %d = %d, want %d", d, got, want)
+		}
+	}
+	if !e.Holds(funFact("reach", "fgfgfg")) {
+		t.Error("reach(fgfgfg) missing")
+	}
+}
+
+func TestAsymmetricBranching(t *testing.T) {
+	// Only words in (fg)* are reachable:
+	// p(f(g(V))) :- p(V).  p(0).
+	prog := &Program{
+		Alphabet: "fg",
+		Rules:    []Rule{{Head: funAtom("p", "fg"), Body: []Atom{funAtom("p", "")}}},
+	}
+	db := &Database{Facts: []Fact{funFact("p", "")}}
+	e, err := NewEvaluator(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Holds(funFact("p", "fgfg")) {
+		t.Error("p(fgfg) missing")
+	}
+	for _, w := range []string{"f", "g", "gf", "ff", "fgf", "gfgf"} {
+		if e.Holds(funFact("p", w)) {
+			t.Errorf("p(%s) wrongly derived", w)
+		}
+	}
+}
+
+func TestDataJoinAndPlainHead(t *testing.T) {
+	// trail(f(V), X) :- trail(V, Y), edge(Y, X).
+	// visited(X) :- trail(V, X).
+	prog := &Program{
+		Alphabet: "fg",
+		Rules: []Rule{
+			{
+				Head: funAtom("trail", "f", "X"),
+				Body: []Atom{funAtom("trail", "", "Y"), plainAtom("edge", "Y", "X")},
+			},
+			{
+				Head: plainAtom("visited", "X"),
+				Body: []Atom{funAtom("trail", "", "X")},
+			},
+		},
+	}
+	db := &Database{Facts: []Fact{
+		funFact("trail", "", "a"),
+		{Pred: "edge", Args: []string{"a", "b"}},
+		{Pred: "edge", Args: []string{"b", "c"}},
+	}}
+	e, err := NewEvaluator(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnsureDepth(3)
+	if !e.Store().Has(funFact("trail", "f", "b")) || !e.Store().Has(funFact("trail", "ff", "c")) {
+		t.Error("trail propagation broken")
+	}
+	if e.Store().Has(funFact("trail", "g", "b")) {
+		t.Error("trail(g(0), b) wrongly derived")
+	}
+	for _, c := range []string{"a", "b", "c"} {
+		if !e.Store().Has(Fact{Pred: "visited", Args: []string{c}}) {
+			t.Errorf("visited(%s) missing", c)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+		want error
+	}{
+		{
+			"bad alphabet",
+			&Program{Alphabet: "ff"},
+			ErrBadAlphabet,
+		},
+		{
+			"unknown symbol",
+			&Program{Alphabet: "f", Rules: []Rule{{Head: funAtom("p", "g"), Body: []Atom{funAtom("p", "")}}}},
+			ErrUnknownSymbol,
+		},
+		{
+			"not forward",
+			&Program{Alphabet: "f", Rules: []Rule{{Head: funAtom("p", ""), Body: []Atom{funAtom("p", "f")}}}},
+			ErrNotForward,
+		},
+		{
+			"range restriction (data)",
+			&Program{Alphabet: "f", Rules: []Rule{{Head: funAtom("p", "f", "X"), Body: []Atom{funAtom("q", "")}}}},
+			ErrRangeRestrict,
+		},
+		{
+			"range restriction (functional var)",
+			&Program{Alphabet: "f", Rules: []Rule{{Head: funAtom("p", "f"), Body: []Atom{plainAtom("q")}}}},
+			ErrRangeRestrict,
+		},
+		{
+			"ground functional term in rule",
+			&Program{Alphabet: "f", Rules: []Rule{{Head: Atom{Pred: "p", Fun: &Term{Prefix: "f"}}, Body: []Atom{funAtom("p", "")}}}},
+			ErrGroundFunRule,
+		},
+		{
+			"mixed predicate",
+			&Program{Alphabet: "f", Rules: []Rule{{Head: plainAtom("p"), Body: []Atom{funAtom("p", "")}}}},
+			ErrMixedPredicate,
+		},
+	}
+	for _, c := range cases {
+		if err := c.prog.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	term := Term{Prefix: "fg", HasVar: true}
+	if got := term.String(); got != "f(g(V))" {
+		t.Errorf("term = %q", got)
+	}
+	r := Rule{Head: funAtom("p", "f", "X"), Body: []Atom{funAtom("p", "", "X"), plainAtom("e", "X")}}
+	if got := r.String(); got != "p(f(V), X) :- p(V, X), e(X)." {
+		t.Errorf("rule = %q", got)
+	}
+	f := funFact("p", "fg", "a")
+	if got := f.String(); got != "p(f(g(0)), a)" {
+		t.Errorf("fact = %q", got)
+	}
+	if got := (Fact{Pred: "halt"}).String(); got != "halt" {
+		t.Errorf("fact = %q", got)
+	}
+}
+
+func TestSortFactsAndDepth(t *testing.T) {
+	fs := []Fact{funFact("b", "f"), funFact("a", "g"), funFact("a", "f", "z"), funFact("a", "f", "a")}
+	SortFacts(fs)
+	if fs[0].Pred != "a" || fs[0].Word != "f" || fs[0].Args[0] != "a" {
+		t.Errorf("sorted = %v", fs)
+	}
+	db := &Database{Facts: fs}
+	if db.MaxDepth() != 1 {
+		t.Errorf("MaxDepth = %d", db.MaxDepth())
+	}
+}
+
+func TestEnsureDepthIdempotent(t *testing.T) {
+	prog, db := evenProgram()
+	e, err := NewEvaluator(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnsureDepth(6)
+	n := e.Store().Len()
+	e.EnsureDepth(6)
+	if e.Store().Len() != n {
+		t.Error("EnsureDepth not idempotent")
+	}
+	e.EnsureDepth(10)
+	if e.Store().Len() <= n {
+		t.Error("deeper window added nothing")
+	}
+}

@@ -1,0 +1,330 @@
+package fddb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"tdd/internal/ast"
+)
+
+// Parse reads a functional deductive database from a Prolog-style text:
+//
+//	reach(f(V)) :- reach(V).
+//	reach(g(V)) :- reach(V).
+//	trail(f(V), X) :- trail(V, Y), edge(Y, X).
+//	trail(0, a).
+//	edge(a, b).
+//
+// The functional argument is written as nested unary applications ending
+// in the constant 0 (ground) or a variable; every function symbol must be
+// a single lower-case letter. The alphabet is inferred from the symbols
+// used. Ground unit clauses become database facts. Comments run from '%'
+// to end of line.
+func Parse(src string) (*Program, *Database, error) {
+	p := &fparser{src: src, line: 1}
+	prog := &Program{}
+	db := &Database{}
+	alphabet := map[rune]bool{}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		head, err := p.atom(alphabet)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.skipSpace()
+		var body []Atom
+		if p.consume(":-") {
+			for {
+				a, err := p.atom(alphabet)
+				if err != nil {
+					return nil, nil, err
+				}
+				body = append(body, a)
+				p.skipSpace()
+				if !p.consume(",") {
+					break
+				}
+			}
+		}
+		if !p.consume(".") {
+			return nil, nil, p.errf("expected '.'")
+		}
+		if len(body) == 0 {
+			f, err := factOf(head)
+			if err != nil {
+				return nil, nil, err
+			}
+			db.Facts = append(db.Facts, f)
+			continue
+		}
+		prog.Rules = append(prog.Rules, Rule{Head: head, Body: body})
+	}
+	var sb strings.Builder
+	for r := 'a'; r <= 'z'; r++ {
+		if alphabet[r] {
+			sb.WriteRune(r)
+		}
+	}
+	prog.Alphabet = sb.String()
+
+	// Sort inference: a predicate is functional when some occurrence
+	// carries an explicit functional term. Other occurrences wrote the
+	// bare variable (reach(V) in the body of reach(f(V)) :- reach(V)),
+	// which the term parser read as an ordinary argument; reinterpret it.
+	functional := map[string]bool{}
+	for _, r := range prog.Rules {
+		for _, a := range r.Atoms() {
+			if a.Fun != nil {
+				functional[a.Pred] = true
+			}
+		}
+	}
+	for _, f := range db.Facts {
+		if f.Functional {
+			functional[f.Pred] = true
+		}
+	}
+	fix := func(a *Atom) error {
+		if a.Fun != nil || !functional[a.Pred] {
+			return nil
+		}
+		if len(a.Args) == 0 || !a.Args[0].IsVar {
+			return fmt.Errorf("fddb: %s needs a functional first argument (predicate %s is functional)", a, a.Pred)
+		}
+		a.Fun = &Term{HasVar: true, Var: a.Args[0].Name}
+		a.Args = a.Args[1:]
+		return nil
+	}
+	for i := range prog.Rules {
+		if err := fix(&prog.Rules[i].Head); err != nil {
+			return nil, nil, err
+		}
+		for j := range prog.Rules[i].Body {
+			if err := fix(&prog.Rules[i].Body[j]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, f := range db.Facts {
+		if functional[f.Pred] && !f.Functional {
+			return nil, nil, fmt.Errorf("fddb: fact %s lacks the functional argument of predicate %s", f, f.Pred)
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return prog, db, nil
+}
+
+// factOf converts a ground head atom to a fact.
+func factOf(a Atom) (Fact, error) {
+	f := Fact{Pred: a.Pred}
+	if a.Fun != nil {
+		if a.Fun.HasVar {
+			return Fact{}, fmt.Errorf("fddb: fact %s is not ground", a)
+		}
+		f.Functional = true
+		f.Word = a.Fun.Prefix
+	}
+	for _, s := range a.Args {
+		if s.IsVar {
+			return Fact{}, fmt.Errorf("fddb: fact %s is not ground", a)
+		}
+		f.Args = append(f.Args, s.Name)
+	}
+	return f, nil
+}
+
+type fparser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *fparser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *fparser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *fparser) skipSpace() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '%':
+			for !p.eof() && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *fparser) consume(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *fparser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("fddb: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *fparser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() {
+		c := rune(p.src[p.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected an identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// atom parses pred(term, ...) where the first argument may be a
+// functional term.
+func (p *fparser) atom(alphabet map[rune]bool) (Atom, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: name}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return a, nil
+	}
+	p.pos++
+	first := true
+	for {
+		p.skipSpace()
+		if fun, ok, err := p.tryFunTerm(alphabet); err != nil {
+			return Atom{}, err
+		} else if ok {
+			if !first {
+				return Atom{}, p.errf("functional term must be the first argument of %s", name)
+			}
+			a.Fun = &fun
+		} else {
+			id, err := p.ident()
+			if err != nil {
+				return Atom{}, err
+			}
+			a.Args = append(a.Args, symbolOf(id))
+		}
+		first = false
+		p.skipSpace()
+		if p.consume(",") {
+			continue
+		}
+		if p.consume(")") {
+			return a, nil
+		}
+		return Atom{}, p.errf("expected ',' or ')' in %s", name)
+	}
+}
+
+// tryFunTerm parses a functional term if one starts here: nested unary
+// applications f(g(...)) ending in 0 or a variable, or the bare constant 0
+// or a bare variable in the functional position. A bare identifier that is
+// not followed by '(' and is not 0/variable is NOT a functional term (it
+// is an ordinary constant), so we look ahead.
+func (p *fparser) tryFunTerm(alphabet map[rune]bool) (Term, bool, error) {
+	save := p.pos
+	// Bare 0: the ground empty word.
+	if p.peek() == '0' {
+		p.pos++
+		return Term{}, true, nil
+	}
+	id, err := p.ident()
+	if err != nil {
+		p.pos = save
+		return Term{}, false, nil
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		p.pos = save
+		return Term{}, false, nil
+	}
+	// id( ... : a unary application chain.
+	var prefix []rune
+	for {
+		if len(id) != 1 || id[0] < 'a' || id[0] > 'z' {
+			return Term{}, false, p.errf("function symbol %q must be a single lower-case letter", id)
+		}
+		alphabet[rune(id[0])] = true
+		prefix = append(prefix, rune(id[0]))
+		p.pos++ // consume '('
+		p.skipSpace()
+		if p.peek() == '0' {
+			p.pos++
+			if err := p.closeParens(len(prefix)); err != nil {
+				return Term{}, false, err
+			}
+			return Term{Prefix: string(prefix)}, true, nil
+		}
+		inner, err := p.ident()
+		if err != nil {
+			return Term{}, false, err
+		}
+		p.skipSpace()
+		if p.peek() == '(' {
+			id = inner
+			continue
+		}
+		// Variable terminator.
+		if !isVarName(inner) {
+			return Term{}, false, p.errf("functional term must end in 0 or a variable, found %q", inner)
+		}
+		if err := p.closeParens(len(prefix)); err != nil {
+			return Term{}, false, err
+		}
+		return Term{Prefix: string(prefix), HasVar: true, Var: inner}, true, nil
+	}
+}
+
+func (p *fparser) closeParens(n int) error {
+	for i := 0; i < n; i++ {
+		p.skipSpace()
+		if p.peek() != ')' {
+			return p.errf("expected ')'")
+		}
+		p.pos++
+	}
+	return nil
+}
+
+func isVarName(s string) bool {
+	if s == "" {
+		return false
+	}
+	r := rune(s[0])
+	return unicode.IsUpper(r) || r == '_'
+}
+
+func symbolOf(id string) ast.Symbol {
+	if isVarName(id) {
+		return ast.Var(id)
+	}
+	return ast.Const(id)
+}

@@ -1,0 +1,128 @@
+package fddb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseReach(t *testing.T) {
+	prog, db, err := Parse(`
+% two-symbol branching
+reach(f(V)) :- reach(V).
+reach(g(V)) :- reach(V).
+reach(0).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Alphabet != "fg" {
+		t.Errorf("alphabet = %q", prog.Alphabet)
+	}
+	if len(prog.Rules) != 2 || len(db.Facts) != 1 {
+		t.Fatalf("rules=%d facts=%d", len(prog.Rules), len(db.Facts))
+	}
+	e, err := NewEvaluator(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Holds(Fact{Pred: "reach", Functional: true, Word: "fg"}) {
+		t.Error("reach(f(g(0))) missing")
+	}
+}
+
+func TestParseBareVariableBody(t *testing.T) {
+	// The body literal reach(V) has no explicit application; inference
+	// reinterprets the bare variable as the functional argument.
+	prog, _, err := Parse("reach(f(V)) :- reach(V).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Rules[0].Body[0]
+	if body.Fun == nil || !body.Fun.HasVar || body.Fun.Prefix != "" {
+		t.Errorf("body = %+v", body)
+	}
+}
+
+func TestParseDataArgs(t *testing.T) {
+	prog, db, err := Parse(`
+trail(f(V), X) :- trail(V, Y), edge(Y, X).
+trail(0, a).
+edge(a, b).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Holds(Fact{Pred: "trail", Functional: true, Word: "f", Args: []string{"b"}}) {
+		t.Error("trail(f(0), b) missing")
+	}
+	if e.Holds(Fact{Pred: "trail", Functional: true, Word: "g", Args: []string{"b"}}) {
+		t.Error("unknown symbol derived")
+	}
+}
+
+func TestParseGroundWords(t *testing.T) {
+	_, db, err := Parse("p(f(g(0)), x).\nq(0).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Facts[0].Word != "fg" || db.Facts[0].Args[0] != "x" {
+		t.Errorf("fact = %+v", db.Facts[0])
+	}
+	if db.Facts[1].Word != "" || !db.Facts[1].Functional {
+		t.Errorf("fact = %+v", db.Facts[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"p(f(V)) :- p(V)", "expected '.'"},
+		{"p(ff(V)) :- p(V).", "single lower-case letter"},
+		{"p(f(bad)) :- p(V).", "end in 0 or a variable"},
+		{"p(f(V), g(W)) :- p(V).", "first argument"},
+		{"p(X) :- q(X).\nq(f(V)) :- q(V).\nq(x).", "lacks the functional argument"},
+		{"p(f(V)) :- p(W).", "two functional variables"},      // W reinterpreted, then mismatch
+		{"p(f(V)) :- p(V), q(g(W)).", "functional variables"}, // two names
+		{"p(f(V)) :- q(V).\nq(X) :- r(X).", "not in body"},    // q stays plain, so head V is unbound
+	}
+	for _, c := range cases {
+		_, _, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want contains %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	src := `
+trail(f(V), X) :- trail(V, Y), edge(Y, X).
+trail(0, a).
+edge(a, b).
+`
+	prog, db, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range prog.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range db.Facts {
+		b.WriteString(f.String())
+		b.WriteString(".\n")
+	}
+	prog2, db2, err := Parse(b.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", b.String(), err)
+	}
+	if len(prog2.Rules) != len(prog.Rules) || len(db2.Facts) != len(db.Facts) {
+		t.Errorf("round trip drifted: %s", b.String())
+	}
+}

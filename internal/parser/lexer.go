@@ -1,0 +1,308 @@
+// Package parser implements the concrete syntax of temporal deductive
+// databases: a Prolog-style surface language for temporal rules, databases,
+// and first-order temporal queries, matching the notation of Chomicki
+// (PODS 1990).
+//
+// Clause syntax:
+//
+//	plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+//	plane(0, hunter).            % ground facts (databases)
+//	@nontemporal score.          % sort directive (rarely needed)
+//
+// Comments run from '%' or "//" to end of line. Constants are lower-case
+// identifiers, integers in non-temporal positions, or single-quoted
+// strings; variables start with an upper-case letter or '_'. The temporal
+// argument is the first argument of a temporal predicate; a predicate is
+// inferred to be temporal when some occurrence has a first argument with
+// temporal syntax (an integer or V+k), see sorts.go.
+//
+// Query syntax:
+//
+//	plane(10, hunter)
+//	exists T (plane(T, X) & winter(T))
+//	forall X (!resort(X) | exists T plane(T, X))
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar
+	tokInt
+	tokQuoted
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokImplies // :-
+	tokPlus
+	tokBang
+	tokAmp
+	tokPipe
+	tokAt
+	tokDotDot // ".." in interval facts like winter(0..90).
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokInt:
+		return "integer"
+	case tokQuoted:
+		return "quoted constant"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokPlus:
+		return "'+'"
+	case tokBang:
+		return "'!'"
+	case tokAmp:
+		return "'&'"
+	case tokPipe:
+		return "'|'"
+	case tokAt:
+		return "'@'"
+	case tokDotDot:
+		return "'..'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	num  int
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent, tokVar:
+		return fmt.Sprintf("%q", t.text)
+	case tokInt:
+		return fmt.Sprintf("%d", t.num)
+	case tokQuoted:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.kind.String()
+	}
+}
+
+// Error is a syntax or sort error with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	if e.Line == 0 {
+		return "parser: " + e.Msg
+	}
+	return fmt.Sprintf("parser: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...interface{}) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *lexer) advance(r rune, size int) {
+	l.pos += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r, size := l.peekRune()
+		switch {
+		case size == 0:
+			return
+		case unicode.IsSpace(r):
+			l.advance(r, size)
+		case r == '%':
+			l.skipLine()
+		case r == '/' && strings.HasPrefix(l.src[l.pos:], "//"):
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for {
+		r, size := l.peekRune()
+		if size == 0 || r == '\n' {
+			return
+		}
+		l.advance(r, size)
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	r, size := l.peekRune()
+	if size == 0 {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case r == '(':
+		l.advance(r, size)
+		return token{kind: tokLParen, line: line, col: col}, nil
+	case r == ')':
+		l.advance(r, size)
+		return token{kind: tokRParen, line: line, col: col}, nil
+	case r == ',':
+		l.advance(r, size)
+		return token{kind: tokComma, line: line, col: col}, nil
+	case r == '.':
+		l.advance(r, size)
+		if r2, s2 := l.peekRune(); r2 == '.' {
+			l.advance(r2, s2)
+			return token{kind: tokDotDot, line: line, col: col}, nil
+		}
+		return token{kind: tokDot, line: line, col: col}, nil
+	case r == '+':
+		l.advance(r, size)
+		return token{kind: tokPlus, line: line, col: col}, nil
+	case r == '!':
+		l.advance(r, size)
+		return token{kind: tokBang, line: line, col: col}, nil
+	case r == '&':
+		l.advance(r, size)
+		return token{kind: tokAmp, line: line, col: col}, nil
+	case r == '|':
+		l.advance(r, size)
+		return token{kind: tokPipe, line: line, col: col}, nil
+	case r == '@':
+		l.advance(r, size)
+		return token{kind: tokAt, line: line, col: col}, nil
+	case r == ':':
+		l.advance(r, size)
+		if r2, s2 := l.peekRune(); r2 == '-' {
+			l.advance(r2, s2)
+			return token{kind: tokImplies, line: line, col: col}, nil
+		}
+		return token{}, errAt(line, col, "expected ':-' after ':'")
+	case r == '\'':
+		return l.lexQuoted(line, col)
+	case r >= '0' && r <= '9':
+		return l.lexInt(line, col)
+	case unicode.IsLetter(r) || r == '_':
+		return l.lexName(line, col)
+	}
+	return token{}, errAt(line, col, "unexpected character %q", r)
+}
+
+func (l *lexer) lexQuoted(line, col int) (token, error) {
+	r, size := l.peekRune() // opening quote
+	l.advance(r, size)
+	var b strings.Builder
+	for {
+		r, size := l.peekRune()
+		if size == 0 {
+			return token{}, errAt(line, col, "unterminated quoted constant")
+		}
+		l.advance(r, size)
+		switch r {
+		case '\'':
+			return token{kind: tokQuoted, text: b.String(), line: line, col: col}, nil
+		case '\\':
+			r2, s2 := l.peekRune()
+			if s2 == 0 {
+				return token{}, errAt(line, col, "unterminated quoted constant")
+			}
+			l.advance(r2, s2)
+			b.WriteRune(r2)
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *lexer) lexInt(line, col int) (token, error) {
+	n := 0
+	digits := 0
+	for {
+		r, size := l.peekRune()
+		if r < '0' || r > '9' {
+			break
+		}
+		if n > (1<<31)/10 {
+			return token{}, errAt(line, col, "integer literal too large")
+		}
+		n = n*10 + int(r-'0')
+		digits++
+		l.advance(r, size)
+	}
+	if digits == 0 {
+		return token{}, errAt(line, col, "expected digits")
+	}
+	// A digit run immediately followed by a letter is an identifier like
+	// 3com? Keep it simple: reject.
+	if r, _ := l.peekRune(); unicode.IsLetter(r) || r == '_' {
+		return token{}, errAt(line, col, "identifier may not start with a digit")
+	}
+	return token{kind: tokInt, num: n, line: line, col: col}, nil
+}
+
+func (l *lexer) lexName(line, col int) (token, error) {
+	start := l.pos
+	first, _ := l.peekRune()
+	for {
+		r, size := l.peekRune()
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			break
+		}
+		l.advance(r, size)
+	}
+	text := l.src[start:l.pos]
+	if unicode.IsUpper(first) || first == '_' {
+		return token{kind: tokVar, text: text, line: line, col: col}, nil
+	}
+	return token{kind: tokIdent, text: text, line: line, col: col}, nil
+}

@@ -1,0 +1,245 @@
+package parser
+
+import (
+	"fmt"
+
+	"tdd/internal/ast"
+)
+
+type parser struct {
+	lex *lexer
+	tok token // lookahead
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: newLexer(src)}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, errAt(p.tok.line, p.tok.col, "expected %s, found %s", kind, p.tok)
+	}
+	tok := p.tok
+	return tok, p.advance()
+}
+
+// parseUnit parses a sequence of clauses and directives.
+func (p *parser) parseUnit() (*rawUnit, error) {
+	u := &rawUnit{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokAt {
+			d, err := p.parseDirective()
+			if err != nil {
+				return nil, err
+			}
+			u.directives = append(u.directives, d)
+			continue
+		}
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		u.clauses = append(u.clauses, c)
+	}
+	return u, nil
+}
+
+func (p *parser) parseDirective() (directive, error) {
+	at := p.tok
+	if err := p.advance(); err != nil {
+		return directive{}, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return directive{}, err
+	}
+	d := directive{line: at.line, col: at.col}
+	switch name.text {
+	case "temporal":
+		d.temporal = true
+	case "nontemporal":
+		d.temporal = false
+	default:
+		return directive{}, errAt(name.line, name.col, "unknown directive @%s (want @temporal or @nontemporal)", name.text)
+	}
+	pred, err := p.expect(tokIdent)
+	if err != nil {
+		return directive{}, err
+	}
+	d.pred = pred.text
+	if _, err := p.expect(tokDot); err != nil {
+		return directive{}, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseClause() (rawClause, error) {
+	head, err := p.parseAtom()
+	if err != nil {
+		return rawClause{}, err
+	}
+	c := rawClause{head: head, line: head.line, col: head.col}
+	if p.tok.kind == tokImplies {
+		if err := p.advance(); err != nil {
+			return rawClause{}, err
+		}
+		for {
+			a, err := p.parseAtom()
+			if err != nil {
+				return rawClause{}, err
+			}
+			c.body = append(c.body, a)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return rawClause{}, err
+			}
+		}
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return rawClause{}, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseAtom() (rawAtom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return rawAtom{}, err
+	}
+	a := rawAtom{pred: name.text, line: name.line, col: name.col}
+	if p.tok.kind != tokLParen {
+		return a, nil
+	}
+	if err := p.advance(); err != nil {
+		return rawAtom{}, err
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return rawAtom{}, err
+		}
+		a.args = append(a.args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return rawAtom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return rawAtom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseTerm() (rawTerm, error) {
+	tok := p.tok
+	switch tok.kind {
+	case tokInt:
+		if err := p.advance(); err != nil {
+			return rawTerm{}, err
+		}
+		// "3+2" is not a term; integers never take +.
+		if p.tok.kind == tokPlus {
+			return rawTerm{}, errAt(p.tok.line, p.tok.col, "'+' may only follow a temporal variable")
+		}
+		// lo..hi — the paper's interval abbreviation (footnote 1), legal
+		// only as the temporal argument of a ground fact.
+		if p.tok.kind == tokDotDot {
+			if err := p.advance(); err != nil {
+				return rawTerm{}, err
+			}
+			hi, err := p.expect(tokInt)
+			if err != nil {
+				return rawTerm{}, err
+			}
+			if hi.num < tok.num {
+				return rawTerm{}, errAt(tok.line, tok.col, "empty interval %d..%d", tok.num, hi.num)
+			}
+			return rawTerm{kind: rawRange, num: tok.num, hi: hi.num, line: tok.line, col: tok.col}, nil
+		}
+		return rawTerm{kind: rawInt, num: tok.num, line: tok.line, col: tok.col}, nil
+	case tokQuoted:
+		if err := p.advance(); err != nil {
+			return rawTerm{}, err
+		}
+		return rawTerm{kind: rawConst, name: tok.text, line: tok.line, col: tok.col}, nil
+	case tokIdent:
+		if err := p.advance(); err != nil {
+			return rawTerm{}, err
+		}
+		return rawTerm{kind: rawConst, name: tok.text, line: tok.line, col: tok.col}, nil
+	case tokVar:
+		if err := p.advance(); err != nil {
+			return rawTerm{}, err
+		}
+		if p.tok.kind == tokPlus {
+			if err := p.advance(); err != nil {
+				return rawTerm{}, err
+			}
+			k, err := p.expect(tokInt)
+			if err != nil {
+				return rawTerm{}, err
+			}
+			if k.num == 0 {
+				return rawTerm{kind: rawVar, name: tok.text, line: tok.line, col: tok.col}, nil
+			}
+			return rawTerm{kind: rawVarPlus, name: tok.text, num: k.num, line: tok.line, col: tok.col}, nil
+		}
+		return rawTerm{kind: rawVar, name: tok.text, line: tok.line, col: tok.col}, nil
+	}
+	return rawTerm{}, errAt(tok.line, tok.col, "expected a term, found %s", tok)
+}
+
+// ParseUnit parses a mixed source text of rules, ground facts, and sort
+// directives, resolving sorts across the whole unit. Ground unit clauses
+// become database facts; everything else becomes rules.
+func ParseUnit(src string) (*ast.Program, *ast.Database, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	u, err := p.parseUnit()
+	if err != nil {
+		return nil, nil, err
+	}
+	return resolveUnit(u)
+}
+
+// ParseProgram parses rules only. Ground unit clauses are rejected with a
+// pointer to the database.
+func ParseProgram(src string) (*ast.Program, error) {
+	prog, db, err := ParseUnit(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(db.Facts) > 0 {
+		return nil, fmt.Errorf("parser: program source contains ground fact %s; facts belong in the database", db.Facts[0])
+	}
+	return prog, nil
+}
+
+// ParseDatabase parses ground facts only.
+func ParseDatabase(src string) (*ast.Database, error) {
+	prog, db, err := ParseUnit(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) > 0 {
+		return nil, fmt.Errorf("parser: database source contains rule %s", prog.Rules[0])
+	}
+	return db, nil
+}

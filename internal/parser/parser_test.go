@@ -1,0 +1,347 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"tdd/internal/ast"
+)
+
+// skiSrc is the travel-agent example of Section 2, verbatim modulo date
+// abbreviations (dates become plain day numbers).
+const skiSrc = `
+% flights to ski resorts
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+offseason(T+365) :- offseason(T).
+winter(T+365) :- winter(T).
+holiday(T+365) :- holiday(T).
+`
+
+const skiDB = `
+plane(13, hunter).
+offseason(92).
+winter(0).
+holiday(7).
+holiday(13).
+resort(hunter).
+`
+
+func TestParseProgramSki(t *testing.T) {
+	p, err := ParseProgram(skiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 6 {
+		t.Fatalf("rules = %d, want 6", len(p.Rules))
+	}
+	want := "plane(T+7, X) :- plane(T, X), resort(X), offseason(T)."
+	if got := p.Rules[0].String(); got != want {
+		t.Errorf("rule 0 = %q, want %q", got, want)
+	}
+	if !p.Preds["plane"].Temporal || p.Preds["plane"].Arity != 1 {
+		t.Errorf("plane signature = %v", p.Preds["plane"])
+	}
+	if p.Preds["resort"].Temporal {
+		t.Error("resort inferred temporal")
+	}
+	if !p.Preds["offseason"].Temporal || p.Preds["offseason"].Arity != 0 {
+		t.Errorf("offseason signature = %v", p.Preds["offseason"])
+	}
+	if err := ast.ValidateProgram(p); err != nil {
+		t.Errorf("ski program does not validate: %v", err)
+	}
+}
+
+func TestParseDatabaseSki(t *testing.T) {
+	d, err := ParseDatabase(skiDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Facts) != 6 {
+		t.Fatalf("facts = %d, want 6", len(d.Facts))
+	}
+	if d.MaxDepth() != 92 {
+		t.Errorf("MaxDepth = %d, want 92", d.MaxDepth())
+	}
+	if !d.Preds["plane"].Temporal {
+		t.Error("plane fact not temporal")
+	}
+	if d.Preds["resort"].Temporal {
+		t.Error("resort(hunter) misread as temporal: 'hunter' is a constant")
+	}
+}
+
+func TestParseUnitMixed(t *testing.T) {
+	prog, db, err := ParseUnit(skiSrc + skiDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 6 || len(db.Facts) != 6 {
+		t.Fatalf("rules=%d facts=%d", len(prog.Rules), len(db.Facts))
+	}
+}
+
+func TestParseGraphExample(t *testing.T) {
+	src := `
+path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+path(K+1, X, Y) :- path(K, X, Y).
+null(0).
+node(a). node(b).
+edge(a, b).
+`
+	prog, db, err := ParseUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Preds["path"].Temporal || prog.Preds["path"].Arity != 2 {
+		t.Errorf("path signature = %v", prog.Preds["path"])
+	}
+	// null(K) is temporal: the fact null(0) plus the sharing of K with
+	// path's temporal position make it so.
+	if !prog.Preds["null"].Temporal {
+		t.Errorf("null not inferred temporal: %v", prog.Preds["null"])
+	}
+	if prog.Preds["edge"].Temporal || prog.Preds["node"].Temporal {
+		t.Error("edge/node inferred temporal")
+	}
+	if len(db.Facts) != 4 {
+		t.Errorf("facts = %d, want 4", len(db.Facts))
+	}
+}
+
+func TestNonTemporalDatalogStaysNonTemporal(t *testing.T) {
+	src := `
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, info := range p.Preds {
+		if info.Temporal {
+			t.Errorf("%s inferred temporal in a function-free program", name)
+		}
+	}
+}
+
+func TestNontemporalDirective(t *testing.T) {
+	src := `@nontemporal score.
+score(10, john).
+score(3, mary).
+`
+	d, err := ParseDatabase(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := d.Preds["score"]
+	if info.Temporal || info.Arity != 2 {
+		t.Errorf("score signature = %v, want non-temporal /2", info)
+	}
+	if d.Facts[0].Args[0] != "10" {
+		t.Errorf("numeric constant = %q", d.Facts[0].Args[0])
+	}
+}
+
+func TestTemporalDirective(t *testing.T) {
+	// Without the directive, p(T) :- q(T) is plain Datalog; the directive
+	// forces the temporal reading.
+	src := `@temporal p.
+p(T) :- q(T).
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Preds["p"].Temporal {
+		t.Error("p not temporal despite directive")
+	}
+	if !prog.Preds["q"].Temporal {
+		t.Error("q not temporal despite sharing T with p")
+	}
+}
+
+func TestDirectiveConflicts(t *testing.T) {
+	if _, _, err := ParseUnit("@temporal p.\n@nontemporal p.\np(a)."); err == nil {
+		t.Error("conflicting directives accepted")
+	}
+	if _, _, err := ParseUnit("@nontemporal p.\np(T+1) :- p(T)."); err == nil {
+		t.Error("@nontemporal with V+k use accepted")
+	}
+	if _, _, err := ParseUnit("@wibble p.\np(a)."); err == nil {
+		t.Error("unknown directive accepted")
+	}
+}
+
+func TestSortErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"temporal var in data position", "p(T+1, T) :- p(T, X).", "non-temporal position"},
+		{"V+k in data position", "p(X, T+1) :- q(X), p(X, T).", "only as the first argument"},
+		{"constant in temporal position", "p(T+1) :- p(T).\np2(T) :- p(T), eq(T).\neq(now).\n@temporal eq.", "temporal position"},
+		{"non-ground fact", "p(X).", "not ground"},
+	}
+	for _, c := range cases {
+		if _, _, err := ParseUnit(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"p(",
+		"p(a) :- .",
+		"p(a)",         // missing dot
+		"p(a,).",       // trailing comma
+		"p(3+2).",      // + after int
+		":- p(a).",     // headless
+		"p('abc).",     // unterminated quote
+		"p(a). q(b",    // second clause broken
+		"p(a]).",       // bad character
+		"9p(a).",       // ident starting with digit
+		"p(a) : q(a).", // lone colon
+	}
+	for _, src := range bad {
+		if _, _, err := ParseUnit(src); err == nil {
+			t.Errorf("accepted bad input %q", src)
+		}
+	}
+}
+
+func TestQuotedConstants(t *testing.T) {
+	prog, db, err := ParseUnit(`city('New York'). city('it\'s').
+likes(X) :- city(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Facts[0].Args[0] != "New York" || db.Facts[1].Args[0] != "it's" {
+		t.Errorf("facts = %v", db.Facts)
+	}
+	if len(prog.Rules) != 1 {
+		t.Errorf("rules = %v", prog.Rules)
+	}
+}
+
+func TestVarPlusZero(t *testing.T) {
+	// T+0 is just T.
+	p, err := ParseProgram("p(T+1) :- p(T+0).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Body[0].Time.Depth != 0 || p.Rules[0].Body[0].Time.Var != "T" {
+		t.Errorf("body time = %v", p.Rules[0].Body[0].Time)
+	}
+}
+
+func TestParseProgramRejectsFacts(t *testing.T) {
+	if _, err := ParseProgram("p(T+1) :- p(T).\np(0)."); err == nil {
+		t.Error("ParseProgram accepted a ground fact")
+	}
+}
+
+func TestParseDatabaseRejectsRules(t *testing.T) {
+	if _, err := ParseDatabase("p(0).\np(T+1) :- p(T)."); err == nil {
+		t.Error("ParseDatabase accepted a rule")
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	p, err := ParseProgram(skiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseProgram(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if p.String() != p2.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", p, p2)
+	}
+	d, err := ParseDatabase(skiDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseDatabase(d.String())
+	if err != nil {
+		t.Fatalf("reparse db: %v", err)
+	}
+	if d.String() != d2.String() {
+		t.Errorf("db round trip mismatch:\n%s\nvs\n%s", d, d2)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "% full line\np(0). // trailing\n% another\nq(a)."
+	_, db, err := ParseUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Facts) != 2 {
+		t.Errorf("facts = %v", db.Facts)
+	}
+}
+
+func TestIntervalFacts(t *testing.T) {
+	// The paper's footnote 1: winter(<12/20/89, 03/20/90>) as an interval
+	// abbreviation, here winter(0..90).
+	src := `
+winter(T+365) :- winter(T).
+winter(0..3).
+offseason(4..9).
+`
+	prog, db, err := ParseUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Facts) != 4+6 {
+		t.Fatalf("facts = %d, want 10: %v", len(db.Facts), db.Facts)
+	}
+	if !prog.Preds["winter"].Temporal {
+		t.Error("winter not temporal")
+	}
+	if !db.Preds["offseason"].Temporal {
+		t.Error("offseason not temporal (interval evidence)")
+	}
+	seen := map[int]bool{}
+	for _, f := range db.Facts {
+		if f.Pred == "winter" {
+			seen[f.Time] = true
+		}
+	}
+	for d := 0; d <= 3; d++ {
+		if !seen[d] {
+			t.Errorf("winter(%d) missing", d)
+		}
+	}
+}
+
+func TestIntervalFactWithArgs(t *testing.T) {
+	_, db, err := ParseUnit("open(0..2, shop).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Facts) != 3 || db.Facts[0].Args[0] != "shop" {
+		t.Errorf("facts = %v", db.Facts)
+	}
+}
+
+func TestIntervalErrors(t *testing.T) {
+	cases := []string{
+		"p(0..3, X) :- q(X).",      // interval in a rule
+		"p(T+1) :- p(T), q(0..2).", // interval in a rule body
+		"p(3..1).",                 // empty interval
+		"p(x, 0..2).",              // interval outside the temporal position
+	}
+	for _, src := range cases {
+		if _, _, err := ParseUnit(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the parser must terminate without panicking on arbitrary
+// input, and parse errors must carry positions.
+
+func TestParseUnitNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", b, r)
+			}
+		}()
+		_, _, _ = ParseUnit(string(b))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Structured corruption: take a valid program, mangle one byte at every
+// position, and require parse to terminate (accepting or rejecting).
+func TestParseUnitSurvivesMutations(t *testing.T) {
+	src := "plane(T+7, X) :- plane(T, X), resort(X), offseason(T).\nplane(0, hunter).\n"
+	mutants := []byte("().,:-+@%'0Z \x00\xff")
+	rng := rand.New(rand.NewSource(99))
+	for pos := 0; pos < len(src); pos++ {
+		b := []byte(src)
+		b[pos] = mutants[rng.Intn(len(mutants))]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation at %d (%q): %v", pos, b, r)
+				}
+			}()
+			_, _, _ = ParseUnit(string(b))
+		}()
+	}
+}
+
+func TestQueryParserNeverPanics(t *testing.T) {
+	preds, err := ParseProgram("plane(T+1, X) :- plane(T, X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", b, r)
+			}
+		}()
+		_, _ = ParseQuery(string(b), preds.Preds)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, _, err := ParseUnit("p(a).\nq(b,\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line < 2 {
+		t.Errorf("error line = %d, want >= 2", perr.Line)
+	}
+	if !strings.Contains(perr.Error(), "parser:") {
+		t.Errorf("error text %q", perr.Error())
+	}
+}
+
+func TestDeeplyNestedQueryTerminates(t *testing.T) {
+	progPreds, err := ParseProgram("p(T+1) :- p(T).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := strings.Repeat("(", 2000) + "p(0)" + strings.Repeat(")", 2000)
+	if _, err := ParseQuery(q, progPreds.Preds); err != nil {
+		t.Fatalf("deeply nested but balanced query rejected: %v", err)
+	}
+	q2 := strings.Repeat("!(", 1000) + "p(0)" + strings.Repeat(")", 1000)
+	if _, err := ParseQuery(q2, progPreds.Preds); err != nil {
+		t.Fatalf("nested negations rejected: %v", err)
+	}
+}
+
+func TestHugeIntegerRejected(t *testing.T) {
+	if _, _, err := ParseUnit("p(99999999999999999999)."); err == nil {
+		t.Error("overflowing integer accepted")
+	}
+}

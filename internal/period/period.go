@@ -1,0 +1,170 @@
+// Package period detects the periodic structure of least models of
+// temporal deductive databases.
+//
+// Theorem 3.1 (Chomicki & Imielinski 1988): the least model M of Z ∧ D is
+// periodic — there are b and p with M[t] = M[t+p] for all t >= b, where b+p
+// is at most exponential in the size of D. This package finds the minimal
+// such (b, p) by evaluating the model over a growing window and certifying
+// a candidate period with the continuation argument for forward rule sets:
+// if the G states starting at b equal the G states starting at b+p (with b
+// beyond every database fact and G the model's lookback), then the
+// state-transition function forces M[t] = M[t+p] for every t >= b.
+package period
+
+import (
+	"errors"
+	"fmt"
+
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+)
+
+// Period is a verified period: M[t] = M[t+p] for all t >= Base.
+type Period struct {
+	Base int // absolute time from which states repeat
+	P    int // period length, >= 1
+}
+
+func (p Period) String() string { return fmt.Sprintf("(b=%d, p=%d)", p.Base, p.P) }
+
+// Canonical returns the canonical representative of time t under the
+// period: t itself if t < Base+P, otherwise Base + (t-Base) mod P. This is
+// the normal form of the rewrite system W of the relational specification.
+func (p Period) Canonical(t int) int {
+	if t < p.Base+p.P {
+		return t
+	}
+	return p.Base + (t-p.Base)%p.P
+}
+
+// Stats reports the work done by Detect.
+type Stats struct {
+	Window int // final window size used
+	Grown  int // number of window growth steps
+}
+
+// ErrWindowExceeded is returned when no period was certified within the
+// caller's window budget. For tractable rule classes this indicates the
+// budget is too small; for adversarial programs (Theorem 3.3) the period
+// itself may be exponential in the database.
+var ErrWindowExceeded = errors.New("period: no period certified within the window budget")
+
+// Lookback returns G, the certificate width for the program: the maximum
+// over (a) the temporal lookback of temporal-head rules and (b) the body
+// spread of non-temporal-head rules, and at least 1.
+func Lookback(prog *ast.Program) int {
+	g := prog.Lookback()
+	for _, r := range prog.Rules {
+		if r.Head.Time != nil {
+			continue
+		}
+		s := r.ShiftNormalize()
+		if d := s.MaxDepth(); d > g {
+			g = d
+		}
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// MaxHeadDepth returns the maximum (original, unshifted) temporal head
+// depth over the program's rules. A rule contributes to states t >=
+// its head depth only — its enabling time — so the state-transition
+// function is time-invariant exactly from this point on, which the period
+// certificate must respect.
+func MaxHeadDepth(prog *ast.Program) int {
+	h := 0
+	for _, r := range prog.Rules {
+		if r.Head.Time != nil && !r.Head.Time.Ground() && r.Head.Time.Depth > h {
+			h = r.Head.Time.Depth
+		}
+	}
+	return h
+}
+
+// Detect finds the minimal verified period of the least model of e's
+// program and database, growing the evaluation window (doubling) until a
+// certificate is found or the window would exceed maxWindow.
+//
+// Minimality: among all verified periods, the one with the smallest p and,
+// for that p, the smallest base is returned.
+func Detect(e *engine.Evaluator, maxWindow int) (Period, Stats, error) {
+	c := e.Database().MaxDepth()
+	G := Lookback(e.Program())
+	hmax := MaxHeadDepth(e.Program())
+	var stats Stats
+	m := 2*c + 4*G + 4
+	if min := 2*hmax + 4; m < min {
+		m = min
+	}
+	if m < 16 {
+		m = 16
+	}
+	for {
+		if m > maxWindow {
+			m = maxWindow
+		}
+		e.EnsureWindow(m)
+		stats.Window = m
+		keys := make([]string, m+1)
+		for t := 0; t <= m; t++ {
+			keys[t] = e.Store().StateKey(t)
+		}
+		if p, ok := scan(keys, c, G, hmax); ok {
+			return p, stats, nil
+		}
+		if m >= maxWindow {
+			return Period{}, stats, fmt.Errorf("%w (window %d, lookback %d, database depth %d)", ErrWindowExceeded, maxWindow, G, c)
+		}
+		m *= 2
+		stats.Grown++
+	}
+}
+
+// scan searches keys[0..m] for the minimal certified period. keys[t] is
+// the canonical state at time t; c is the database's maximum temporal
+// depth; G the certificate width; hmax the maximum rule head depth.
+//
+// A pair (b, p) is certified when b > c, keys[t] == keys[t+p] for every
+// t in [b, m-p], the evidence window is wide enough (b + p + G <= m), and
+// the observed matches cover every instant at which a rule can still
+// become enabled (m - p + 1 >= hmax): beyond the window the continuation
+// induction computes state t from the G previous states, and the
+// state-transition function is the same at t and t+p exactly when both
+// are beyond the database horizon and every rule's enabling time.
+func scan(keys []string, c, G, hmax int) (Period, bool) {
+	m := len(keys) - 1
+	best := Period{}
+	found := false
+	for p := 1; c+1+p+G <= m; p++ {
+		if m-p+1 < hmax {
+			// A rule with head depth hmax could first fire beyond the
+			// observed matches; no certificate possible at this p.
+			break
+		}
+		// Find the minimal b >= c+1 with keys[t] == keys[t+p] for all
+		// t in [b, m-p].
+		b := -1
+		for t := m - p; t >= c+1; t-- {
+			if keys[t] != keys[t+p] {
+				break
+			}
+			b = t
+		}
+		if b < 0 {
+			continue
+		}
+		if b+p+G > m {
+			continue // not enough observed evidence
+		}
+		best = Period{Base: b, P: p}
+		found = true
+		break
+	}
+	if !found {
+		return Period{}, false
+	}
+	return best, true
+}

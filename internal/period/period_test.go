@@ -1,0 +1,230 @@
+package period
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"tdd/internal/engine"
+	"tdd/internal/parser"
+)
+
+func mustEval(t *testing.T, src string) *engine.Evaluator {
+	t.Helper()
+	prog, db, err := parser.ParseUnit(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	e, err := engine.New(prog, db)
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	return e
+}
+
+func TestDetectEven(t *testing.T) {
+	e := mustEval(t, "even(T+2) :- even(T).\neven(0).")
+	p, _, err := Detect(e, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P != 2 {
+		t.Errorf("period = %v, want p=2", p)
+	}
+	if p.Base != 1 {
+		t.Errorf("base = %d, want 1 (minimal base beyond the database depth)", p.Base)
+	}
+}
+
+func TestDetectInflationaryHasPeriodOne(t *testing.T) {
+	src := `
+path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+path(K+1, X, Y) :- path(K, X, Y).
+null(0).
+node(a). node(b). node(c).
+edge(a, b). edge(b, c).
+`
+	e := mustEval(t, src)
+	p, _, err := Detect(e, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P != 1 {
+		t.Errorf("inflationary program period = %v, want p=1", p)
+	}
+	// Reachability closes by path length <= 2, so states stabilize fast.
+	if p.Base > 4 {
+		t.Errorf("base = %d unexpectedly large", p.Base)
+	}
+}
+
+func TestDetectSki(t *testing.T) {
+	src := `
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+offseason(T+10) :- offseason(T).
+winter(T+10) :- winter(T).
+holiday(T+10) :- holiday(T).
+winter(0). winter(1). winter(2). winter(3).
+offseason(4). offseason(5). offseason(6). offseason(7). offseason(8). offseason(9).
+holiday(1).
+resort(hunter).
+plane(0, hunter).
+`
+	e := mustEval(t, src)
+	p, _, err := Detect(e, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P != 10 {
+		t.Errorf("period = %v, want p=10 (the year length)", p)
+	}
+}
+
+func TestDetectEmptyModelTail(t *testing.T) {
+	// No recursion: states beyond the database are empty, period (c+1, 1).
+	e := mustEval(t, "q(T+1) :- p(T).\np(3).")
+	p, _, err := Detect(e, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q(4) is derived from p(3), so states are empty from t=5 on.
+	if p.P != 1 || p.Base != 5 {
+		t.Errorf("period = %v, want (b=5, p=1)", p)
+	}
+}
+
+func TestDetectWindowExceeded(t *testing.T) {
+	// Period 30 (lcm of 2,3,5) cannot be certified in a window of 20.
+	src := `
+a(T+2) :- a(T).
+b(T+3) :- b(T).
+c(T+5) :- c(T).
+a(0). b(0). c(0).
+`
+	e := mustEval(t, src)
+	if _, _, err := Detect(e, 20); !errors.Is(err, ErrWindowExceeded) {
+		t.Errorf("err = %v, want ErrWindowExceeded", err)
+	}
+	// With a large budget the lcm period is found.
+	e2 := mustEval(t, src)
+	p, _, err := Detect(e2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P != 30 {
+		t.Errorf("period = %v, want p=30", p)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	p := Period{Base: 3, P: 4}
+	cases := map[int]int{0: 0, 2: 2, 3: 3, 6: 6, 7: 3, 8: 4, 10: 6, 11: 3, 100: 3 + (100-3)%4}
+	for in, want := range cases {
+		if got := p.Canonical(in); got != want {
+			t.Errorf("Canonical(%d) = %d, want %d", in, got, want)
+		}
+	}
+	// Canonical is idempotent and within [0, Base+P).
+	for i := 0; i < 50; i++ {
+		c := p.Canonical(i)
+		if c >= p.Base+p.P {
+			t.Errorf("Canonical(%d) = %d out of range", i, c)
+		}
+		if p.Canonical(c) != c {
+			t.Errorf("Canonical not idempotent at %d", i)
+		}
+	}
+}
+
+func TestLookback(t *testing.T) {
+	prog, _, err := parser.ParseUnit(`
+p(T+7, X) :- p(T, X), r(X).
+seen(X) :- p(T+3, X), q(T).
+q(T+1) :- q(T).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Temporal lookback 7; the non-temporal rule spreads over 3 states.
+	if g := Lookback(prog); g != 7 {
+		t.Errorf("Lookback = %d, want 7", g)
+	}
+	prog2, _, err := parser.ParseUnit(`
+seen(X) :- p(T+9, X), q(T).
+q(T+1) :- q(T).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := Lookback(prog2); g != 9 {
+		t.Errorf("Lookback = %d, want 9 (non-temporal body spread)", g)
+	}
+}
+
+func TestScanNoFalsePositiveOnShortEvidence(t *testing.T) {
+	// keys: a b c c c — the c-run is too short to certify with G=3.
+	keys := []string{"a", "b", "c", "c", "c"}
+	if _, ok := scan(keys, 0, 3, 0); ok {
+		t.Error("scan certified a period without enough evidence")
+	}
+	keys = []string{"a", "b", "c", "c", "c", "c", "c"}
+	p, ok := scan(keys, 0, 3, 0)
+	if !ok || p.P != 1 || p.Base != 2 {
+		t.Errorf("scan = %v, %v; want (b=2, p=1)", p, ok)
+	}
+}
+
+func TestScanMinimalPeriodFirst(t *testing.T) {
+	// Period 2 from index 1: x a b a b a b a b
+	keys := []string{"x", "a", "b", "a", "b", "a", "b", "a", "b"}
+	p, ok := scan(keys, 0, 1, 0)
+	if !ok || p.P != 2 || p.Base != 1 {
+		t.Errorf("scan = %v, %v; want (b=1, p=2)", p, ok)
+	}
+	// A constant sequence has period 1 even though 2 also fits.
+	keys = []string{"x", "a", "a", "a", "a", "a"}
+	p, ok = scan(keys, 0, 1, 0)
+	if !ok || p.P != 1 {
+		t.Errorf("scan = %v, want p=1", p)
+	}
+}
+
+func TestDetectRespectsDatabaseDepth(t *testing.T) {
+	// Database facts up to time 6 must push the base beyond 6 even though
+	// the rule-driven states look periodic earlier.
+	e := mustEval(t, "p(T+1) :- p(T).\np(0).\nq(6).")
+	p, _, err := Detect(e, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base <= 6 {
+		t.Errorf("base = %d, want > 6 (database depth)", p.Base)
+	}
+	if p.P != 1 {
+		t.Errorf("p = %d, want 1", p.P)
+	}
+}
+
+// Property (testing/quick): Canonical respects the period's equivalence —
+// equal representatives exactly for times congruent mod P beyond the base.
+func TestCanonicalEquivalenceProperty(t *testing.T) {
+	f := func(base, p, t1 uint8, k uint8) bool {
+		per := Period{Base: int(base), P: int(p%19) + 1}
+		t := int(t1) + per.Base // beyond the base
+		shifted := t + int(k%7)*per.P
+		if per.Canonical(t) != per.Canonical(shifted) {
+			return false
+		}
+		// Within one period of the base, times are their own canonical form.
+		if t < per.Base+per.P && per.Canonical(t) != t {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,370 @@
+package query
+
+// An independent oracle for the query evaluator: instead of top-down
+// recursion with an environment, evaluate bottom-up in relational-algebra
+// style — each subformula yields the SET of satisfying assignments over
+// its free variables (complementation against the active domains gives
+// CWA negation, projection gives exists, division gives forall). The two
+// strategies share no code; differential tests run them against random
+// queries including negation and universal quantifiers.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+	"tdd/internal/parser"
+	"tdd/internal/spec"
+)
+
+// vars is a sorted list of variable names with sorts.
+type ovar struct {
+	name     string
+	temporal bool
+}
+
+type oset struct {
+	vars []ovar
+	rows map[string]bool // canonical encoding of assignments
+}
+
+func encode(vals []string) string { return strings.Join(vals, "\x00") }
+
+func (s oset) project(keep []ovar) oset {
+	idx := make([]int, len(keep))
+	for i, k := range keep {
+		idx[i] = -1
+		for j, v := range s.vars {
+			if v == k {
+				idx[i] = j
+			}
+		}
+		if idx[i] < 0 {
+			panic("oracle: projecting onto a missing variable")
+		}
+	}
+	out := oset{vars: keep, rows: map[string]bool{}}
+	for row := range s.rows {
+		parts := strings.Split(row, "\x00")
+		if len(s.vars) == 0 {
+			parts = nil
+		}
+		vals := make([]string, len(keep))
+		for i, j := range idx {
+			vals[i] = parts[j]
+		}
+		out.rows[encode(vals)] = true
+	}
+	return out
+}
+
+// oracle evaluates q bottom-up over structure st.
+func oracle(st Structure, q ast.Query) oset {
+	tdom := st.TemporalDomain()
+	cdom := st.ConstantDomain()
+	domainOf := func(v ovar) []string {
+		if v.temporal {
+			out := make([]string, len(tdom))
+			for i, t := range tdom {
+				out[i] = fmt.Sprintf("%d", t)
+			}
+			return out
+		}
+		return cdom
+	}
+	// all enumerates every assignment over vars, calling f with the values.
+	var all func(vars []ovar, f func(vals []string))
+	all = func(vars []ovar, f func(vals []string)) {
+		if len(vars) == 0 {
+			f(nil)
+			return
+		}
+		var rec func(i int, acc []string)
+		rec = func(i int, acc []string) {
+			if i == len(vars) {
+				f(append([]string(nil), acc...))
+				return
+			}
+			for _, d := range domainOf(vars[i]) {
+				rec(i+1, append(acc, d))
+			}
+		}
+		rec(0, nil)
+	}
+	freeOf := func(q ast.Query) []ovar {
+		tv, nv := ast.FreeVars(q)
+		var out []ovar
+		for _, v := range tv {
+			out = append(out, ovar{name: v, temporal: true})
+		}
+		for _, v := range nv {
+			out = append(out, ovar{name: v})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+		return out
+	}
+	// holds evaluates q under a total assignment of its free variables.
+	var eval func(q ast.Query) oset
+	eval = func(q ast.Query) oset {
+		vars := freeOf(q)
+		out := oset{vars: vars, rows: map[string]bool{}}
+		switch q := q.(type) {
+		case ast.QAtom:
+			all(vars, func(vals []string) {
+				f := ast.Fact{Pred: q.Atom.Pred}
+				lookup := func(name string) string {
+					for i, v := range vars {
+						if v.name == name {
+							return vals[i]
+						}
+					}
+					panic("oracle: unbound " + name)
+				}
+				if q.Atom.Time != nil {
+					f.Temporal = true
+					if q.Atom.Time.Ground() {
+						f.Time = q.Atom.Time.Depth
+					} else {
+						var t int
+						fmt.Sscanf(lookup(q.Atom.Time.Var), "%d", &t)
+						f.Time = t + q.Atom.Time.Depth
+					}
+				}
+				for _, s := range q.Atom.Args {
+					if s.IsVar {
+						f.Args = append(f.Args, lookup(s.Name))
+					} else {
+						f.Args = append(f.Args, s.Name)
+					}
+				}
+				if st.HoldsFact(f) {
+					out.rows[encode(vals)] = true
+				}
+			})
+		case ast.QNot:
+			sub := eval(q.Sub)
+			all(vars, func(vals []string) {
+				if !sub.rows[encode(vals)] {
+					out.rows[encode(vals)] = true
+				}
+			})
+		case ast.QAnd, ast.QOr:
+			var l, r ast.Query
+			and := false
+			if a, ok := q.(ast.QAnd); ok {
+				l, r, and = a.Left, a.Right, true
+			} else {
+				o := q.(ast.QOr)
+				l, r = o.Left, o.Right
+			}
+			ls, rs := eval(l), eval(r)
+			all(vars, func(vals []string) {
+				asg := map[string]string{}
+				for i, v := range vars {
+					asg[v.name] = vals[i]
+				}
+				inL := member(ls, asg)
+				inR := member(rs, asg)
+				if (and && inL && inR) || (!and && (inL || inR)) {
+					out.rows[encode(vals)] = true
+				}
+			})
+		case ast.QExists:
+			sub := eval(q.Sub)
+			all(vars, func(vals []string) {
+				asg := map[string]string{}
+				for i, v := range vars {
+					asg[v.name] = vals[i]
+				}
+				found := false
+				for _, d := range domainOf(ovar{name: q.Var, temporal: q.Sort == ast.SortTemporal}) {
+					asg[q.Var] = d
+					if member(sub, asg) {
+						found = true
+						break
+					}
+				}
+				if found {
+					out.rows[encode(vals)] = true
+				}
+			})
+		case ast.QForall:
+			sub := eval(q.Sub)
+			all(vars, func(vals []string) {
+				asg := map[string]string{}
+				for i, v := range vars {
+					asg[v.name] = vals[i]
+				}
+				ok := true
+				for _, d := range domainOf(ovar{name: q.Var, temporal: q.Sort == ast.SortTemporal}) {
+					asg[q.Var] = d
+					if !member(sub, asg) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out.rows[encode(vals)] = true
+				}
+			})
+		}
+		return out
+	}
+	return eval(q)
+}
+
+// member tests whether the projection of asg onto s.vars is in s. A
+// variable absent from asg cannot occur (freeness bookkeeping guarantees
+// it).
+func member(s oset, asg map[string]string) bool {
+	vals := make([]string, len(s.vars))
+	for i, v := range s.vars {
+		val, ok := asg[v.name]
+		if !ok {
+			panic("oracle: assignment missing " + v.name)
+		}
+		vals[i] = val
+	}
+	return s.rows[encode(vals)]
+}
+
+func TestOracleAgreesOnHandwrittenQueries(t *testing.T) {
+	f := setup(t, skiSrc)
+	for _, src := range []string{
+		"plane(0, hunter)",
+		"plane(3, hunter)",
+		"exists T (plane(T, hunter) & winter(T))",
+		"forall T (winter(T) | holiday(T) | offseason(T))",
+		"forall X (!resort(X) | exists T plane(T, X))",
+		"!(winter(3) & holiday(3))",
+		"exists X (resort(X) & !plane(1, X))",
+		"forall T exists X (plane(T, X) | !plane(T, X))", // tautology
+	} {
+		q := f.query(t, src)
+		want, err := Eval(f.s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := len(oracle(f.s, q).rows) == 1
+		if got != want {
+			t.Errorf("%q: oracle=%v eval=%v", src, got, want)
+		}
+	}
+}
+
+func TestOracleAgreesOnOpenQueries(t *testing.T) {
+	f := setup(t, skiSrc)
+	for _, src := range []string{
+		"plane(T, X)",
+		"plane(T, hunter) & winter(T)",
+		"resort(X) & !plane(0, X)",
+	} {
+		q := f.query(t, src)
+		want, err := Answers(f.s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := oracle(f.s, q)
+		if len(got.rows) != len(want) {
+			t.Errorf("%q: oracle %d answers, Answers %d", src, len(got.rows), len(want))
+		}
+	}
+}
+
+// Random closed queries with negation and both quantifiers: the two
+// evaluation strategies must agree everywhere.
+func TestOracleAgreesOnRandomQueries(t *testing.T) {
+	prog, db, err := parser.ParseUnit(skiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := spec.Compute(e, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	names := []string{"plane", "winter", "holiday", "offseason", "resort"}
+	var build func(depth int, scope []ovar) ast.Query
+	build = func(depth int, scope []ovar) ast.Query {
+		if depth == 0 {
+			name := names[rng.Intn(len(names))]
+			info := prog.Preds[name]
+			a := ast.Atom{Pred: name}
+			if info.Temporal {
+				var tv string
+				for _, v := range scope {
+					if v.temporal {
+						tv = v.name
+					}
+				}
+				if tv != "" && rng.Intn(2) == 0 {
+					a.Time = &ast.TemporalTerm{Var: tv, Depth: rng.Intn(2)}
+				} else {
+					a.Time = &ast.TemporalTerm{Depth: rng.Intn(15)}
+				}
+			}
+			for i := 0; i < info.Arity; i++ {
+				var cv string
+				for _, v := range scope {
+					if !v.temporal {
+						cv = v.name
+					}
+				}
+				if cv != "" && rng.Intn(2) == 0 {
+					a.Args = append(a.Args, ast.Var(cv))
+				} else {
+					a.Args = append(a.Args, ast.Const("hunter"))
+				}
+			}
+			return ast.QAtom{Atom: a}
+		}
+		switch rng.Intn(5) {
+		case 0:
+			return ast.QAnd{Left: build(depth-1, scope), Right: build(depth-1, scope)}
+		case 1:
+			return ast.QOr{Left: build(depth-1, scope), Right: build(depth-1, scope)}
+		case 2:
+			return ast.QNot{Sub: build(depth-1, scope)}
+		case 3:
+			v := ovar{name: fmt.Sprintf("T%d", len(scope)), temporal: true}
+			return ast.QExists{Var: v.name, Sort: ast.SortTemporal, Sub: forceUse(build(depth-1, append(scope, v)), v)}
+		default:
+			v := ovar{name: fmt.Sprintf("X%d", len(scope))}
+			return ast.QForall{Var: v.name, Sort: ast.SortNonTemporal, Sub: forceUse(build(depth-1, append(scope, v)), v)}
+		}
+	}
+	for i := 0; i < 120; i++ {
+		q := build(2, nil)
+		if !ast.Closed(q) {
+			continue
+		}
+		want, err := Eval(s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := len(oracle(s, q).rows) == 1
+		if got != want {
+			t.Fatalf("random query %s: oracle=%v eval=%v", q, got, want)
+		}
+	}
+}
+
+// forceUse conjoins a harmless atom mentioning v so quantifiers always
+// bind an occurring variable (mirroring the parser's requirement).
+func forceUse(q ast.Query, v ovar) ast.Query {
+	var atom ast.Atom
+	if v.temporal {
+		atom = ast.TemporalAtom("winter", ast.TemporalTerm{Var: v.name})
+	} else {
+		atom = ast.NonTemporalAtom("resort", ast.Var(v.name))
+	}
+	return ast.QOr{Left: q, Right: ast.QAnd{Left: ast.QAtom{Atom: atom}, Right: ast.QNot{Sub: ast.QAtom{Atom: atom}}}}
+}

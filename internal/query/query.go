@@ -1,0 +1,249 @@
+// Package query evaluates temporal first-order queries (Section 3.3)
+// against finite structures: relational specifications (the tractable
+// path, sound for all temporal queries by Proposition 3.1) or bounded
+// windows of the least model (the baseline).
+//
+// Negative subqueries are evaluated under the Closed World Assumption.
+// Quantifiers are two-sorted: temporal quantifiers range over the
+// structure's temporal domain (representative terms for specifications),
+// non-temporal quantifiers over the active constant domain.
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+)
+
+// Structure is a finite structure a temporal query can be evaluated in.
+type Structure interface {
+	// HoldsFact answers a ground atomic query (rewriting the temporal
+	// argument to a representative where applicable).
+	HoldsFact(f ast.Fact) bool
+	// TemporalDomain is the range of temporal quantifiers and of free
+	// temporal variables in open queries.
+	TemporalDomain() []int
+	// ConstantDomain is the active domain of non-temporal constants.
+	ConstantDomain() []string
+}
+
+// ErrOpenQuery is returned by Eval for queries with free variables.
+var ErrOpenQuery = errors.New("query: open query; use Answers")
+
+// Eval evaluates a closed query.
+func Eval(s Structure, q ast.Query) (bool, error) {
+	if !ast.Closed(q) {
+		tv, nv := ast.FreeVars(q)
+		return false, fmt.Errorf("%w (free: %v %v)", ErrOpenQuery, tv, nv)
+	}
+	ev := evaluator{s: s, times: make(map[string]int), consts: make(map[string]string)}
+	return ev.eval(q), nil
+}
+
+// Answer is one answer substitution to an open query. For specification
+// structures a temporal binding represents the infinite family obtained by
+// unrolling the rewrite rule (Section 3.3: "the rewrite rules themselves
+// should be a part of the query answer").
+type Answer struct {
+	Temporal    map[string]int
+	NonTemporal map[string]string
+}
+
+func (a Answer) String() string { return ast.FormatAnswer(a.Temporal, a.NonTemporal) }
+
+// Answers enumerates the answer substitutions of an open query: every
+// assignment of the free variables (temporal over the temporal domain,
+// non-temporal over the constant domain) under which the query holds.
+// Closed queries yield one empty answer if true, none if false.
+func Answers(s Structure, q ast.Query) ([]Answer, error) {
+	return AnswersLimit(s, q, 0)
+}
+
+// AnswersLimit is Answers with an upper bound on the number of answers
+// returned (0 means unlimited). Enumeration stops as soon as the bound is
+// reached, so the cost is proportional to the answers actually produced
+// plus the failed assignments tried before them.
+func AnswersLimit(s Structure, q ast.Query, max int) ([]Answer, error) {
+	tv, nv := ast.FreeVars(q)
+	ev := evaluator{s: s, times: make(map[string]int), consts: make(map[string]string)}
+	var out []Answer
+	tdom := s.TemporalDomain()
+	cdom := s.ConstantDomain()
+	full := func() bool { return max > 0 && len(out) >= max }
+
+	var assignNT func(i int)
+	var assignT func(i int)
+	assignNT = func(i int) {
+		if full() {
+			return
+		}
+		if i == len(nv) {
+			if ev.eval(q) {
+				ans := Answer{Temporal: make(map[string]int, len(tv)), NonTemporal: make(map[string]string, len(nv))}
+				for _, v := range tv {
+					ans.Temporal[v] = ev.times[v]
+				}
+				for _, v := range nv {
+					ans.NonTemporal[v] = ev.consts[v]
+				}
+				out = append(out, ans)
+			}
+			return
+		}
+		for _, c := range cdom {
+			if full() {
+				break
+			}
+			ev.consts[nv[i]] = c
+			assignNT(i + 1)
+		}
+		delete(ev.consts, nv[i])
+	}
+	assignT = func(i int) {
+		if i == len(tv) {
+			assignNT(0)
+			return
+		}
+		for _, t := range tdom {
+			if full() {
+				break
+			}
+			ev.times[tv[i]] = t
+			assignT(i + 1)
+		}
+		delete(ev.times, tv[i])
+	}
+	assignT(0)
+	return out, nil
+}
+
+type evaluator struct {
+	s      Structure
+	times  map[string]int
+	consts map[string]string
+}
+
+func (ev *evaluator) eval(q ast.Query) bool {
+	switch q := q.(type) {
+	case ast.QAtom:
+		return ev.atom(q.Atom)
+	case ast.QNot:
+		return !ev.eval(q.Sub)
+	case ast.QAnd:
+		return ev.eval(q.Left) && ev.eval(q.Right)
+	case ast.QOr:
+		return ev.eval(q.Left) || ev.eval(q.Right)
+	case ast.QExists:
+		return ev.quant(q.Var, q.Sort, q.Sub, false)
+	case ast.QForall:
+		return ev.quant(q.Var, q.Sort, q.Sub, true)
+	}
+	panic(fmt.Sprintf("query: unknown node %T", q))
+}
+
+// quant evaluates a quantifier; forall=true for universal.
+func (ev *evaluator) quant(v string, sort ast.Sort, sub ast.Query, forall bool) bool {
+	if sort == ast.SortTemporal {
+		old, had := ev.times[v]
+		defer ev.restoreTime(v, old, had)
+		for _, t := range ev.s.TemporalDomain() {
+			ev.times[v] = t
+			if ev.eval(sub) != forall {
+				return !forall
+			}
+		}
+		return forall
+	}
+	old, had := ev.consts[v]
+	defer ev.restoreConst(v, old, had)
+	for _, c := range ev.s.ConstantDomain() {
+		ev.consts[v] = c
+		if ev.eval(sub) != forall {
+			return !forall
+		}
+	}
+	return forall
+}
+
+func (ev *evaluator) restoreTime(v string, old int, had bool) {
+	if had {
+		ev.times[v] = old
+	} else {
+		delete(ev.times, v)
+	}
+}
+
+func (ev *evaluator) restoreConst(v, old string, had bool) {
+	if had {
+		ev.consts[v] = old
+	} else {
+		delete(ev.consts, v)
+	}
+}
+
+func (ev *evaluator) atom(a ast.Atom) bool {
+	f := ast.Fact{Pred: a.Pred}
+	if a.Time != nil {
+		f.Temporal = true
+		if a.Time.Ground() {
+			f.Time = a.Time.Depth
+		} else {
+			t, ok := ev.times[a.Time.Var]
+			if !ok {
+				panic(fmt.Sprintf("query: unbound temporal variable %s", a.Time.Var))
+			}
+			f.Time = t + a.Time.Depth
+		}
+	}
+	f.Args = make([]string, len(a.Args))
+	for i, s := range a.Args {
+		if !s.IsVar {
+			f.Args[i] = s.Name
+			continue
+		}
+		c, ok := ev.consts[s.Name]
+		if !ok {
+			panic(fmt.Sprintf("query: unbound variable %s", s.Name))
+		}
+		f.Args[i] = c
+	}
+	return ev.s.HoldsFact(f)
+}
+
+// Window is the baseline structure: the least model restricted to 0..M
+// with temporal quantifiers ranging over 0..M. It is exact for ground
+// atomic queries whose depth is at most M, and for existential-positive
+// queries when M is large enough; unlike a specification it gives no
+// soundness guarantee for universal or negated temporal subqueries (the
+// model is infinite). It exists as the comparison point for experiments
+// and for non-invariant queries (Section 8).
+type Window struct {
+	Eval *engine.Evaluator
+	M    int
+}
+
+// HoldsFact implements Structure; the window is extended on demand.
+func (w Window) HoldsFact(f ast.Fact) bool {
+	if f.Temporal && f.Time > w.M {
+		return false
+	}
+	w.Eval.EnsureWindow(w.M)
+	return w.Eval.Holds(f)
+}
+
+// TemporalDomain implements Structure.
+func (w Window) TemporalDomain() []int {
+	out := make([]int, w.M+1)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ConstantDomain implements Structure.
+func (w Window) ConstantDomain() []string {
+	w.Eval.EnsureWindow(w.M)
+	return w.Eval.Store().Constants()
+}

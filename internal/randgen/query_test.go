@@ -1,0 +1,135 @@
+package randgen
+
+// Property: Proposition 3.1 (invariance of temporal queries w.r.t.
+// relational specifications), tested on random programs with random
+// existential-positive queries. For that fragment a bounded window that
+// covers one full period is an exact oracle: any satisfiable temporal
+// quantifier has a witness among the representatives, and window
+// evaluation is otherwise literal.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+	"tdd/internal/query"
+	"tdd/internal/spec"
+)
+
+// randomQuery builds a closed existential-positive query over the
+// program's predicates: a tree of & and | over atoms, with every variable
+// bound by an exists.
+func randomQuery(rng *rand.Rand, preds map[string]ast.PredInfo, consts []string, maxTime int) ast.Query {
+	var names []string
+	for name := range preds {
+		names = append(names, name)
+	}
+	// Deterministic iteration order for reproducibility.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	var tVars, cVars []string
+	atom := func() ast.Query {
+		info := preds[names[rng.Intn(len(names))]]
+		a := ast.Atom{Pred: info.Name}
+		if info.Temporal {
+			if rng.Intn(2) == 0 {
+				a.Time = &ast.TemporalTerm{Depth: rng.Intn(maxTime + 1)}
+			} else {
+				v := fmt.Sprintf("QT%d", rng.Intn(2))
+				a.Time = &ast.TemporalTerm{Var: v, Depth: rng.Intn(2)}
+				tVars = append(tVars, v)
+			}
+		}
+		for i := 0; i < info.Arity; i++ {
+			if rng.Intn(2) == 0 {
+				a.Args = append(a.Args, ast.Const(consts[rng.Intn(len(consts))]))
+			} else {
+				v := fmt.Sprintf("QX%d", rng.Intn(2))
+				a.Args = append(a.Args, ast.Var(v))
+				cVars = append(cVars, v)
+			}
+		}
+		return ast.QAtom{Atom: a}
+	}
+	var tree func(depth int) ast.Query
+	tree = func(depth int) ast.Query {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return atom()
+		}
+		l, r := tree(depth-1), tree(depth-1)
+		if rng.Intn(2) == 0 {
+			return ast.QAnd{Left: l, Right: r}
+		}
+		return ast.QOr{Left: l, Right: r}
+	}
+	q := tree(2)
+	// Close the query.
+	seen := map[string]bool{}
+	for _, v := range tVars {
+		if !seen[v] {
+			seen[v] = true
+			q = ast.QExists{Var: v, Sort: ast.SortTemporal, Sub: q}
+		}
+	}
+	for _, v := range cVars {
+		if !seen[v] {
+			seen[v] = true
+			q = ast.QExists{Var: v, Sort: ast.SortNonTemporal, Sub: q}
+		}
+	}
+	return q
+}
+
+func TestProposition31OnRandomQueries(t *testing.T) {
+	queriesChecked := 0
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(rng, Default())
+		prog, err := g.Program(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := g.Database(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.New(prog, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := spec.Compute(e, 1<<14)
+		if err != nil {
+			continue
+		}
+		oracle := query.Window{Eval: e, M: s.Period.Base + 2*s.Period.P + 4}
+		preds := prog.Preds
+		consts := append(db.Constants(), "nonexistent$")
+		for k := 0; k < 10; k++ {
+			q := randomQuery(rng, preds, consts, oracle.M)
+			if !ast.Closed(q) {
+				t.Fatalf("seed %d: query not closed: %s", seed, q)
+			}
+			specGot, err := query.Eval(s, q)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			winGot, err := query.Eval(oracle, q)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if specGot != winGot {
+				t.Fatalf("seed %d: invariance violated on %s\nspec=%v window=%v\nprogram:\n%sdb:\n%s",
+					seed, q, specGot, winGot, prog, db)
+			}
+			queriesChecked++
+		}
+	}
+	if queriesChecked < 100 {
+		t.Errorf("only %d random queries checked", queriesChecked)
+	}
+}

@@ -1,0 +1,165 @@
+// Package rewrite implements ground rewrite systems over temporal terms.
+//
+// A relational specification S = (T, B, W) carries a finite set W of
+// ground rewrite rules whose both sides are temporal terms (Section 3.3).
+// A ground temporal term is an integer k (0 followed by k applications of
+// +1); a rule l -> r applies to any term t >= l by rewriting the prefix:
+// t -> t - l + r. For temporal deductive databases the computed W contains
+// exactly one rule (b+p -> b), but the definition — and this package —
+// admits any finite set, as needed by the functional deductive database
+// generalization the paper builds on [6].
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule is a ground rewrite rule LHS -> RHS between ground temporal terms.
+type Rule struct {
+	LHS, RHS int
+}
+
+func (r Rule) String() string { return fmt.Sprintf("%d -> %d", r.LHS, r.RHS) }
+
+// Applicable reports whether the rule rewrites term t.
+func (r Rule) Applicable(t int) bool { return t >= r.LHS }
+
+// Apply rewrites t once; it panics if the rule is not applicable.
+func (r Rule) Apply(t int) int {
+	if !r.Applicable(t) {
+		panic(fmt.Sprintf("rewrite: %v not applicable to %d", r, t))
+	}
+	return t - r.LHS + r.RHS
+}
+
+// System is a finite set of ground rewrite rules.
+type System struct {
+	rules []Rule
+}
+
+// Errors reported by New.
+var (
+	ErrNonTerminating = errors.New("rewrite: rule does not decrease its term (RHS >= LHS)")
+	ErrNegative       = errors.New("rewrite: terms must be non-negative")
+	ErrEmpty          = errors.New("rewrite: a system needs at least one rule")
+)
+
+// New builds a rewrite system, requiring every rule to strictly decrease
+// the term it rewrites (RHS < LHS) — the specification-construction
+// procedure of [6] produces terminating systems, and strict decrease is
+// exactly termination for this term language.
+func New(rules ...Rule) (*System, error) {
+	if len(rules) == 0 {
+		return nil, ErrEmpty
+	}
+	for _, r := range rules {
+		if r.LHS < 0 || r.RHS < 0 {
+			return nil, fmt.Errorf("%w: %v", ErrNegative, r)
+		}
+		if r.RHS >= r.LHS {
+			return nil, fmt.Errorf("%w: %v", ErrNonTerminating, r)
+		}
+	}
+	out := &System{rules: append([]Rule(nil), rules...)}
+	sort.Slice(out.rules, func(i, j int) bool { return out.rules[i].LHS < out.rules[j].LHS })
+	return out, nil
+}
+
+// Rules returns the rules, ordered by LHS.
+func (s *System) Rules() []Rule { return append([]Rule(nil), s.rules...) }
+
+// Normalize rewrites t until no rule applies (using the lowest-LHS
+// applicable rule at each step; for confluent systems the strategy does
+// not matter). Termination is guaranteed by construction. Repeated
+// applications of one rule are collapsed into modular arithmetic, so the
+// cost is independent of t's magnitude — rewriting is O(1) per rule, the
+// property Section 3.3's tractability argument rests on.
+func (s *System) Normalize(t int) int {
+	for {
+		applied := false
+		for _, r := range s.rules {
+			if r.Applicable(t) {
+				// Applying t -> t-(LHS-RHS) while t >= LHS lands at
+				// RHS + (t-RHS) mod (LHS-RHS), the unique value in
+				// [RHS, LHS) reachable by that rule alone.
+				d := r.LHS - r.RHS
+				t = r.RHS + (t-r.RHS)%d
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			return t
+		}
+	}
+}
+
+// NormalForm reports whether t is a normal form (no rule applies).
+func (s *System) NormalForm(t int) bool {
+	for _, r := range s.rules {
+		if r.Applicable(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalForms enumerates all normal forms: exactly the terms below the
+// smallest LHS.
+func (s *System) NormalForms() []int {
+	min := s.rules[0].LHS
+	out := make([]int, min)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ConfluentUpTo checks (by exhaustive reduction-graph search) that every
+// term in [0, bound] has a unique normal form. Single-rule systems are
+// always confluent; multi-rule systems need not be, and specification
+// builders use this check before relying on Normalize.
+func (s *System) ConfluentUpTo(bound int) bool {
+	// nf[t] caches the set of reachable normal forms; confluence means
+	// every set is a singleton.
+	memo := make(map[int]map[int]bool, bound+1)
+	var reach func(t int) map[int]bool
+	reach = func(t int) map[int]bool {
+		if m, ok := memo[t]; ok {
+			return m
+		}
+		m := make(map[int]bool)
+		memo[t] = m // terms strictly decrease, so no cycles
+		any := false
+		for _, r := range s.rules {
+			if !r.Applicable(t) {
+				continue
+			}
+			any = true
+			for nf := range reach(r.Apply(t)) {
+				m[nf] = true
+			}
+		}
+		if !any {
+			m[t] = true
+		}
+		return m
+	}
+	for t := 0; t <= bound; t++ {
+		if len(reach(t)) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) String() string {
+	parts := make([]string, len(s.rules))
+	for i, r := range s.rules {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,182 @@
+package rewrite
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := New(Rule{LHS: 2, RHS: 2}); !errors.Is(err, ErrNonTerminating) {
+		t.Errorf("err = %v, want ErrNonTerminating", err)
+	}
+	if _, err := New(Rule{LHS: 2, RHS: 5}); !errors.Is(err, ErrNonTerminating) {
+		t.Errorf("err = %v, want ErrNonTerminating", err)
+	}
+	if _, err := New(Rule{LHS: -1, RHS: 0}); !errors.Is(err, ErrNegative) {
+		t.Errorf("err = %v, want ErrNegative", err)
+	}
+	if _, err := New(Rule{LHS: 3, RHS: 1}); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+}
+
+func TestSingleRuleNormalize(t *testing.T) {
+	// The paper's even example: W = {2 -> 0}.
+	s, err := New(Rule{LHS: 2, RHS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int]int{0: 0, 1: 1, 2: 0, 3: 1, 4: 0, 17: 1, 1000000: 0}
+	for in, want := range cases {
+		if got := s.Normalize(in); got != want {
+			t.Errorf("Normalize(%d) = %d, want %d", in, got, want)
+		}
+	}
+	if nfs := s.NormalForms(); len(nfs) != 2 || nfs[0] != 0 || nfs[1] != 1 {
+		t.Errorf("NormalForms = %v", nfs)
+	}
+}
+
+func TestSpecShapedRule(t *testing.T) {
+	// W = {b+p -> b} with b=3, p=4: representatives 0..6.
+	s, err := New(Rule{LHS: 7, RHS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := 0; tm < 7; tm++ {
+		if !s.NormalForm(tm) {
+			t.Errorf("%d should be a normal form", tm)
+		}
+	}
+	for tm := 7; tm < 100; tm++ {
+		want := 3 + (tm-3)%4
+		if got := s.Normalize(tm); got != want {
+			t.Errorf("Normalize(%d) = %d, want %d", tm, got, want)
+		}
+	}
+}
+
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	s, err := New(Rule{LHS: 11, RHS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint16) bool {
+		nf := s.Normalize(int(n))
+		return s.NormalForm(nf) && s.Normalize(nf) == nf && nf <= int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiRuleConfluence(t *testing.T) {
+	// {4 -> 0, 6 -> 2}: both subtract 4; joinable everywhere.
+	s, err := New(Rule{LHS: 4, RHS: 0}, Rule{LHS: 6, RHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.ConfluentUpTo(200) {
+		t.Error("compatible rules reported non-confluent")
+	}
+	// {3 -> 0, 5 -> 1}: 5 -> 1 but also 5 -> 2 -> 2; normal forms differ.
+	s2, err := New(Rule{LHS: 3, RHS: 0}, Rule{LHS: 5, RHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ConfluentUpTo(200) {
+		t.Error("conflicting rules reported confluent")
+	}
+}
+
+func TestSingleRuleAlwaysConfluent(t *testing.T) {
+	f := func(l, d, bound uint8) bool {
+		lhs := int(l)%50 + 1
+		rhs := lhs - (int(d)%lhs + 1)
+		s, err := New(Rule{LHS: lhs, RHS: rhs})
+		if err != nil {
+			return false
+		}
+		return s.ConfluentUpTo(int(bound))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyPanicsWhenInapplicable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Rule{LHS: 5, RHS: 0}.Apply(3)
+}
+
+func TestStringers(t *testing.T) {
+	s, err := New(Rule{LHS: 6, RHS: 2}, Rule{LHS: 4, RHS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "{4 -> 0, 6 -> 2}" {
+		t.Errorf("String = %q (rules should sort by LHS)", got)
+	}
+	if got := s.Rules()[0].String(); got != "4 -> 0" {
+		t.Errorf("rule String = %q", got)
+	}
+}
+
+func TestNormalizeClosedFormMatchesSteps(t *testing.T) {
+	systems := []*System{}
+	for _, rules := range [][]Rule{
+		{{LHS: 2, RHS: 0}},
+		{{LHS: 7, RHS: 3}},
+		{{LHS: 4, RHS: 0}, {LHS: 6, RHS: 2}},
+		{{LHS: 5, RHS: 2}, {LHS: 9, RHS: 1}},
+	} {
+		s, err := New(rules...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, s)
+	}
+	// stepNormalize is the literal one-rewrite-at-a-time reference.
+	stepNormalize := func(s *System, t int) int {
+		for {
+			applied := false
+			for _, r := range s.Rules() {
+				if r.Applicable(t) {
+					t = r.Apply(t)
+					applied = true
+					break
+				}
+			}
+			if !applied {
+				return t
+			}
+		}
+	}
+	for _, s := range systems {
+		for tm := 0; tm < 300; tm++ {
+			if got, want := s.Normalize(tm), stepNormalize(s, tm); got != want {
+				t.Fatalf("%v: Normalize(%d) = %d, step reference %d", s, tm, got, want)
+			}
+		}
+	}
+}
+
+func TestNormalizeLargeIsConstantTime(t *testing.T) {
+	s, err := New(Rule{LHS: 41, RHS: 1}) // period 40
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A billion-deep term must normalize instantly; the value checks the
+	// modular arithmetic.
+	if got := s.Normalize(1_000_000_000); got != 1+(1_000_000_000-1)%40 {
+		t.Errorf("Normalize(10^9) = %d", got)
+	}
+}

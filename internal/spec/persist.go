@@ -1,0 +1,116 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+	"tdd/internal/period"
+	"tdd/internal/rewrite"
+)
+
+// Portable is the serialized form of a relational specification: the
+// period (hence W), the primary database B, and the predicate signatures
+// needed to type queries. It is a complete, stand-alone representation of
+// the infinite least model — the point of Section 3.3 — so a consumer can
+// answer every temporal query without the rules, the database, or any
+// re-evaluation.
+type Portable struct {
+	Version int                     `json:"version"`
+	Base    int                     `json:"base"`
+	Period  int                     `json:"period"`
+	Preds   map[string]ast.PredInfo `json:"preds"`
+	Facts   []ast.Fact              `json:"facts"`
+}
+
+// portableVersion guards the wire format.
+const portableVersion = 1
+
+// Export serializes the specification. The preds map (usually the
+// program's plus the database's) rides along so query parsers can
+// type-check against the loaded form.
+func (s *Spec) Export(preds map[string]ast.PredInfo) ([]byte, error) {
+	p := Portable{
+		Version: portableVersion,
+		Base:    s.Period.Base,
+		Period:  s.Period.P,
+		Preds:   preds,
+		Facts:   s.PrimaryDatabase(),
+	}
+	return json.MarshalIndent(p, "", " ")
+}
+
+// Loaded is a deserialized relational specification: a finite structure
+// that answers temporal queries exactly like the Spec it was exported
+// from (it implements query.Structure).
+type Loaded struct {
+	Period period.Period
+	preds  map[string]ast.PredInfo
+	w      *rewrite.System
+	store  *engine.Store
+	consts []string
+}
+
+// Import deserializes a specification exported by Export.
+func Import(data []byte) (*Loaded, error) {
+	var p Portable
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if p.Version != portableVersion {
+		return nil, fmt.Errorf("spec: unsupported specification version %d (want %d)", p.Version, portableVersion)
+	}
+	if p.Period < 1 || p.Base < 0 {
+		return nil, fmt.Errorf("spec: malformed period (b=%d, p=%d)", p.Base, p.Period)
+	}
+	w, err := rewrite.New(rewrite.Rule{LHS: p.Base + p.Period, RHS: p.Base})
+	if err != nil {
+		return nil, err
+	}
+	l := &Loaded{
+		Period: period.Period{Base: p.Base, P: p.Period},
+		preds:  p.Preds,
+		w:      w,
+		store:  engine.NewStore(),
+	}
+	constSet := make(map[string]bool)
+	for _, f := range p.Facts {
+		if f.Temporal && f.Time >= p.Base+p.Period {
+			return nil, fmt.Errorf("spec: fact %s beyond the representatives", f)
+		}
+		l.store.Insert(f)
+		for _, c := range f.Args {
+			constSet[c] = true
+		}
+	}
+	for c := range constSet {
+		l.consts = append(l.consts, c)
+	}
+	sort.Strings(l.consts)
+	return l, nil
+}
+
+// Preds returns the predicate signatures for query typing.
+func (l *Loaded) Preds() map[string]ast.PredInfo { return l.preds }
+
+// HoldsFact implements query.Structure: rewrite, then look up in B.
+func (l *Loaded) HoldsFact(f ast.Fact) bool {
+	if f.Temporal {
+		f.Time = l.w.Normalize(f.Time)
+	}
+	return l.store.Has(f)
+}
+
+// TemporalDomain implements query.Structure: the representative terms.
+func (l *Loaded) TemporalDomain() []int {
+	out := make([]int, l.Period.Base+l.Period.P)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ConstantDomain implements query.Structure.
+func (l *Loaded) ConstantDomain() []string { return l.consts }

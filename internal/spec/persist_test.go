@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"tdd/internal/ast"
+	"tdd/internal/parser"
+	"tdd/internal/query"
+)
+
+const persistSki = `
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+offseason(T+9) :- offseason(T).
+winter(T+9) :- winter(T).
+winter(0..2).
+offseason(3..8).
+resort(hunter).
+plane(0, hunter).
+`
+
+func exportImport(t *testing.T, src string) (*Spec, *Loaded) {
+	t.Helper()
+	s := mustSpec(t, src)
+	prog, db, err := parser.ParseUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make(map[string]ast.PredInfo)
+	for k, v := range prog.Preds {
+		preds[k] = v
+	}
+	for k, v := range db.Preds {
+		preds[k] = v
+	}
+	data, err := s.Export(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Import(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, l
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s, l := exportImport(t, persistSki)
+	if l.Period != s.Period {
+		t.Fatalf("period %v vs %v", l.Period, s.Period)
+	}
+	// Every ground atomic query agrees between the live spec and the
+	// loaded one, far beyond the representative window.
+	for tm := 0; tm <= 3*(s.Period.Base+s.Period.P); tm++ {
+		f := tfact("plane", tm, "hunter")
+		if s.HoldsFact(f) != l.HoldsFact(f) {
+			t.Fatalf("disagreement at plane(%d, hunter)", tm)
+		}
+		g := ast.Fact{Pred: "winter", Temporal: true, Time: tm}
+		if s.HoldsFact(g) != l.HoldsFact(g) {
+			t.Fatalf("disagreement at winter(%d)", tm)
+		}
+	}
+	// Non-temporal part survives too.
+	if !l.HoldsFact(ast.Fact{Pred: "resort", Args: []string{"hunter"}}) {
+		t.Error("resort(hunter) lost")
+	}
+}
+
+func TestLoadedAnswersQueries(t *testing.T) {
+	_, l := exportImport(t, persistSki)
+	q, err := parser.ParseQuery("exists T (plane(T, hunter) & winter(T))", l.Preds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := query.Eval(l, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("expected a winter plane day")
+	}
+	open, err := parser.ParseQuery("plane(T, X)", l.Preds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := query.Answers(l, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) == 0 {
+		t.Error("no answers from loaded specification")
+	}
+	for _, a := range ans {
+		if a.NonTemporal["X"] != "hunter" {
+			t.Errorf("unexpected answer %v", a)
+		}
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{",
+		"bad version":     `{"version": 99, "base": 1, "period": 2}`,
+		"zero period":     `{"version": 1, "base": 1, "period": 0}`,
+		"negative base":   `{"version": 1, "base": -1, "period": 2}`,
+		"fact beyond |T|": `{"version": 1, "base": 1, "period": 2, "facts": [{"Pred": "p", "Temporal": true, "Time": 9}]}`,
+	}
+	for name, data := range cases {
+		if _, err := Import([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestExportIsReadableJSON(t *testing.T) {
+	s := mustSpec(t, "even(T+2) :- even(T).\neven(0).")
+	data, err := s.Export(map[string]ast.PredInfo{"even": {Name: "even", Temporal: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"version"`, `"base"`, `"period"`, `"even"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("missing %s in export:\n%s", want, data)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package spec implements relational specifications (Section 3.3): finite
+// representations S = (T, B, W) of the possibly infinite least model of a
+// temporal deductive database.
+//
+//   - T is the finite set of representative ground temporal terms
+//     {0, 1, ..., b+p-1} where (b, p) is a (minimal) verified period of the
+//     least model;
+//   - B, the primary database, is the union of the model's snapshots at the
+//     representative terms together with its non-temporal part;
+//   - W is the single ground rewrite rule  b+p -> b, applied as
+//     t -> t-p while t >= b+p, whose normal forms are exactly T.
+//
+// Every temporal query is invariant with respect to relational
+// specifications (Proposition 3.1), so a query over the infinite model can
+// be answered over B after rewriting ground temporal terms to their
+// representatives.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+	"tdd/internal/period"
+	"tdd/internal/rewrite"
+)
+
+// Spec is a computed relational specification.
+type Spec struct {
+	// Period is the verified period (b, p); the rewrite system W contains
+	// the single rule Base+P -> Base.
+	Period period.Period
+	w      *rewrite.System
+	eval   *engine.Evaluator
+}
+
+// Compute evaluates the TDD far enough to certify a minimal period and
+// returns the relational specification. maxWindow bounds the evaluation
+// window; see period.Detect.
+func Compute(e *engine.Evaluator, maxWindow int) (*Spec, error) {
+	p, _, err := period.Detect(e, maxWindow)
+	if err != nil {
+		return nil, err
+	}
+	w, err := rewrite.New(rewrite.Rule{LHS: p.Base + p.P, RHS: p.Base})
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{Period: p, w: w, eval: e}, nil
+}
+
+// Rewrite returns the canonical representative of the ground temporal term
+// t: W is applied until no rewriting is applicable.
+func (s *Spec) Rewrite(t int) int { return s.w.Normalize(t) }
+
+// RewriteSystem returns W, the specification's ground rewrite system.
+func (s *Spec) RewriteSystem() *rewrite.System { return s.w }
+
+// Representatives returns T, the representative terms 0..b+p-1.
+func (s *Spec) Representatives() []int {
+	out := make([]int, s.Period.Base+s.Period.P)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// NumRepresentatives returns |T| = b + p.
+func (s *Spec) NumRepresentatives() int { return s.Period.Base + s.Period.P }
+
+// HoldsFact answers a ground atomic query: the temporal argument is
+// rewritten to its representative and looked up in the primary database.
+// Non-temporal atoms are looked up in the non-temporal part.
+func (s *Spec) HoldsFact(f ast.Fact) bool {
+	if f.Temporal {
+		f.Time = s.Rewrite(f.Time)
+	}
+	return s.eval.Holds(f)
+}
+
+// TemporalDomain returns the representatives; temporal quantifiers in
+// queries range over it (Section 3.3 interprets temporal quantifiers over
+// representative terms).
+func (s *Spec) TemporalDomain() []int { return s.Representatives() }
+
+// ConstantDomain returns the active domain of non-temporal constants.
+func (s *Spec) ConstantDomain() []string { return s.eval.Store().Constants() }
+
+// PrimaryDatabase returns B as sorted facts: snapshots at every
+// representative plus the non-temporal part.
+func (s *Spec) PrimaryDatabase() []ast.Fact {
+	var out []ast.Fact
+	out = append(out, s.eval.Store().NonTemporalFacts()...)
+	for _, t := range s.Representatives() {
+		out = append(out, s.eval.Store().Snapshot(t)...)
+	}
+	ast.SortFacts(out)
+	return out
+}
+
+// Size returns (|T|, |B|): the paper's measure of specification size.
+func (s *Spec) Size() (reps, facts int) {
+	reps = s.NumRepresentatives()
+	facts = s.eval.Store().NonTemporalCount()
+	for _, t := range s.Representatives() {
+		facts += s.eval.Store().StateSize(t)
+	}
+	return reps, facts
+}
+
+// String renders the specification in the paper's (T, B, W) notation.
+func (s *Spec) String() string {
+	var b strings.Builder
+	reps, facts := s.Size()
+	fmt.Fprintf(&b, "T = {0..%d}  (%d representative terms)\n", reps-1, reps)
+	fmt.Fprintf(&b, "W = %s\n", s.w)
+	fmt.Fprintf(&b, "B = (%d facts)\n", facts)
+	for _, f := range s.PrimaryDatabase() {
+		fmt.Fprintf(&b, "  %s.\n", f)
+	}
+	return b.String()
+}
+
+// Evaluator exposes the underlying evaluator (window already covers the
+// representatives).
+func (s *Spec) Evaluator() *engine.Evaluator { return s.eval }

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tdd/internal/classify"
+	"tdd/internal/engine"
+	"tdd/internal/parser"
+	"tdd/internal/period"
+)
+
+func detect(t *testing.T, rules, facts string, maxWindow int) period.Period {
+	t.Helper()
+	prog, db, err := parser.ParseUnit(rules + facts)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	e, err := engine.New(prog, db)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	p, _, err := period.Detect(e, maxWindow)
+	if err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	return p
+}
+
+func TestSkiGeneratorPeriodIsYear(t *testing.T) {
+	rules, facts := Ski(SkiParams{YearLen: 20, Resorts: 3, Planes: 4, Holidays: 2, Seed: 1})
+	p := detect(t, rules, facts, 1<<16)
+	if p.P != 20 {
+		t.Errorf("period = %v, want p=20", p)
+	}
+	prog, err := parser.ParseProgram(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := classify.MultiSeparable(prog); !ok {
+		t.Errorf("ski rules not multi-separable: %s", reason)
+	}
+}
+
+func TestSkiDeterministic(t *testing.T) {
+	_, f1 := Ski(SkiParams{YearLen: 20, Resorts: 3, Planes: 4, Holidays: 2, Seed: 7})
+	_, f2 := Ski(SkiParams{YearLen: 20, Resorts: 3, Planes: 4, Holidays: 2, Seed: 7})
+	if f1 != f2 {
+		t.Error("same seed produced different databases")
+	}
+	_, f3 := Ski(SkiParams{YearLen: 20, Resorts: 3, Planes: 4, Holidays: 2, Seed: 8})
+	if f1 == f3 {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestReachabilityInflationaryPeriodOne(t *testing.T) {
+	rules, facts := Reachability(ReachParams{Nodes: 12, Edges: 30, Seed: 3})
+	p := detect(t, rules, facts, 1<<12)
+	if p.P != 1 {
+		t.Errorf("period = %v, want p=1", p)
+	}
+	prog, err := parser.ParseProgram(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := classify.Inflationary(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("reachability rules should be inflationary")
+	}
+}
+
+func TestReachabilityEdgeCount(t *testing.T) {
+	_, facts := Reachability(ReachParams{Nodes: 10, Edges: 25, Seed: 5})
+	if got := strings.Count(facts, "edge("); got != 25 {
+		t.Errorf("edges = %d, want 25", got)
+	}
+	if got := strings.Count(facts, "node("); got != 10 {
+		t.Errorf("nodes = %d, want 10", got)
+	}
+}
+
+func TestCounterPeriodIsExponential(t *testing.T) {
+	for _, bits := range []int{2, 3, 4, 5} {
+		rules, facts := Counter(bits)
+		p := detect(t, rules, facts, 1<<12)
+		if want := 1 << bits; p.P != want {
+			t.Errorf("bits=%d: period = %v, want p=%d", bits, p, want)
+		}
+	}
+}
+
+func TestCounterNotMultiSeparableNotInflationary(t *testing.T) {
+	prog, err := parser.ParseProgram(CounterRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := classify.MultiSeparable(prog); ok {
+		t.Error("counter rules misclassified multi-separable")
+	}
+	ok, err := classify.Inflationary(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("counter rules misclassified inflationary")
+	}
+}
+
+func TestCyclesLcm(t *testing.T) {
+	rules, facts := Cycles([]int{2, 3, 5})
+	p := detect(t, rules, facts, 1<<12)
+	if p.P != 30 {
+		t.Errorf("period = %v, want p=30", p)
+	}
+}
+
+func TestPrimes(t *testing.T) {
+	if got := Primes(6); !reflect.DeepEqual(got, []int{2, 3, 5, 7, 11, 13}) {
+		t.Errorf("Primes(6) = %v", got)
+	}
+	if got := Primes(0); len(got) != 0 {
+		t.Errorf("Primes(0) = %v", got)
+	}
+}

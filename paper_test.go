@@ -1,0 +1,278 @@
+package tdd
+
+// Paper-conformance suite: every concrete example and checkable claim in
+// the text of Chomicki (PODS 1990), asserted against the library. Section
+// references follow the paper.
+
+import (
+	"strings"
+	"testing"
+)
+
+// Section 2, first example: the travel agent's airline specification,
+// verbatim (dates abbreviated to day numbers with day 0 = 12/20/89, so
+// 01/01/90 = day 12, 12/25/89 = day 5, 03/20/90 = day 90, 03/21/90 = day
+// 91, 12/19/90 = day 364, 12/20/90 = day 365).
+const paperSki = `
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+offseason(T+365) :- offseason(T).
+winter(T+365) :- winter(T).
+holiday(T+365) :- holiday(T).
+
+plane(12, hunter).       % plane(01/01/90)
+offseason(91..364).      % offseason(<03/21/90, 12/19/90>)
+winter(0..90).           % winter(<12/20/89, 03/20/90>)
+holiday(5).              % holiday(12/25/89)
+holiday(12).             % holiday(01/01/90)
+resort(hunter).
+`
+
+func TestPaperSection2TravelAgent(t *testing.T) {
+	db, err := OpenUnit(paperSki)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "to verify whether a plane leaves to Hunter on a given day t0, it
+	// has to be checked whether plane(t0, 'Hunter') is implied" — winter
+	// flights run every second day from day 12.
+	for _, c := range []struct {
+		day  int
+		want bool
+	}{
+		{12, true}, {13, true}, {14, true}, {15, true}, {16, true},
+		{11, false}, {10, false},
+		{90, true},       // last winter day, reachable by +2 steps from 12
+		{12 + 365, true}, // next year's 01/01 (the whole pattern repeats)
+	} {
+		got, err := db.HoldsAt("plane", c.day, "hunter")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("plane(%d, hunter) = %v, want %v", c.day, got, c.want)
+		}
+	}
+	// "We might also ask about all days when a plane leaves to Hunter and
+	// this query has infinitely many answers." — finitely represented.
+	ans, err := db.Answers("plane(T, hunter)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) == 0 {
+		t.Fatal("no representative answers")
+	}
+	p, err := db.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P != 365 {
+		t.Errorf("period = %v, want the year", p)
+	}
+
+	// "The set of rules in this example is multi-separable (but not
+	// separable), and consequently I-periodic. But it is not
+	// inflationary."
+	rep := db.Classify(false)
+	if !rep.MultiSeparable {
+		t.Error("paper: ski rules are multi-separable")
+	}
+	if rep.Separable {
+		t.Error("paper: ski rules are NOT separable")
+	}
+	if rep.Inflationary {
+		t.Error("paper: ski rules are not inflationary")
+	}
+	// "take a database with nonempty plane relation but empty offseason,
+	// winter and holiday relations" — the witness for non-inflationarity:
+	// plane(0) holds, plane(1) does not.
+	w, err := Open(db.Rules(), "plane(0, hunter).\nresort(hunter).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := w.HoldsAt("plane", 0, "hunter")
+	p1, _ := w.HoldsAt("plane", 1, "hunter")
+	if !p0 || p1 {
+		t.Errorf("witness database: plane(0)=%v plane(1)=%v, want true/false", p0, p1)
+	}
+}
+
+// Section 2, second example: bounded reachability.
+const paperPath = `
+path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+path(K+1, X, Y) :- path(K, X, Y).
+`
+
+func TestPaperSection2Graph(t *testing.T) {
+	// "This set of rules is inflationary, because of the third rule."
+	rep, err := Classify(paperPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Inflationary {
+		t.Error("paper: path rules are inflationary")
+	}
+	// "The above set of rules is not I-periodic, because the length of a
+	// path in an arbitrary graph can not be bounded from above." — the
+	// syntactic approximation agrees: not multi-separable.
+	if rep.MultiSeparable {
+		t.Error("paper: path rules are not multi-separable")
+	}
+	// "the meaning of path(K, X, Y) is 'there is a path of length at most
+	// K between the nodes X and Y'".
+	db, err := OpenUnit(paperPath + `
+null(0).
+node(a). node(b). node(c).
+edge(a, b). edge(b, c).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		k        int
+		from, to string
+		want     bool
+	}{
+		{0, "a", "a", true}, {0, "a", "b", false},
+		{1, "a", "b", true}, {1, "a", "c", false},
+		{2, "a", "c", true}, {100, "a", "c", true},
+		{100, "c", "a", false},
+	}
+	for _, c := range cases {
+		got, err := db.HoldsAt("path", c.k, c.from, c.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("path(%d, %s, %s) = %v, want %v", c.k, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// Section 3.3's worked example, verbatim.
+func TestPaperSection33EvenSpecification(t *testing.T) {
+	db, err := Open("even(T+2) :- even(T).", "even(0).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the query even(4) will be first rewritten as even(2) and then as
+	// even(0). The tuple even(0) is in the primary database B, thus the
+	// answer to the original query is yes."
+	yes, _ := db.Ask("even(4)")
+	if !yes {
+		t.Error("paper: even(4) is yes")
+	}
+	// "the query even(3) will be rewritten as even(1) and no further. But
+	// the tuple even(1) is not in B, thus the answer is no."
+	no, _ := db.Ask("even(3)")
+	if no {
+		t.Error("paper: even(3) is no")
+	}
+	// "An answer to an open query even(X) consists of the substitution
+	// X=0 and the rewrite rule 2->0. This answer represents infinitely
+	// many answer substitutions: X=0, X=2, X=4 ..." — our minimal base
+	// starts past the database depth, so the representatives are {0, 2}
+	// with rewrite rule 3 -> 1; the represented set is identical.
+	ans, err := db.Answers("even(T)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for _, a := range ans {
+		got = append(got, a.Temporal["T"])
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("representatives = %v", got)
+	}
+	for _, probe := range []int{0, 2, 4, 100, 2024} {
+		holds, _ := db.HoldsAt("even", probe)
+		if !holds {
+			t.Errorf("even(%d) should be represented", probe)
+		}
+	}
+}
+
+// Section 6's example rules: near/idle is time-only and reduced;
+// happy/friend is data-only.
+func TestPaperSection6RuleKinds(t *testing.T) {
+	rep, err := Classify(`
+near(T+1, X, Y) :- near(T, X, Y), idle(T, X), idle(T, Y).
+happy(T, X) :- happy(T, Y), friend(X, Y).
+`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.MultiSeparable {
+		t.Error("paper: time-only + data-only rules are multi-separable")
+	}
+}
+
+// Theorem 6.2's example transformation, verbatim: the rule
+// a(X,Z) :- p(X,Y), a(Y,Z) becomes a(T+1,X,Z) :- p(T,X,Y), a(T,Y,Z), plus
+// copying rules, plus time-0 database tagging.
+func TestPaperTheorem62Shape(t *testing.T) {
+	rep, err := Classify(`
+a(T+1, X, Z) :- p(T, X, Y), a(T, Y, Z).
+a(T+1, X, Y) :- a(T, X, Y).
+p(T+1, X, Y) :- p(T, X, Y).
+`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The counting rule is recursive but neither time-only nor data-only.
+	if rep.MultiSeparable {
+		t.Error("paper: the temporalized counting program escapes the multi-separable class")
+	}
+	// It is inflationary though (every predicate has a copy rule), which
+	// is what makes its period 1 and its base the iteration count.
+	if !rep.Inflationary {
+		t.Error("temporalized program with copy rules should be inflationary")
+	}
+}
+
+// Section 8's non-invariant query: equality of temporal terms. The query
+// language deliberately rejects it.
+func TestPaperSection8EqualityRejected(t *testing.T) {
+	db, err := Open("p(T+1) :- p(T).", "p(0).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Ask("eq(0, 0)"); err == nil {
+		// eq is just an unknown predicate — fine (false), but there must
+		// be no built-in equality syntax at all.
+		yes, _ := db.Ask("eq(0, 0)")
+		if yes {
+			t.Error("unknown predicate true?")
+		}
+	}
+	if _, err := db.Ask("0 = 0"); err == nil {
+		t.Error("equality syntax accepted; Section 8 shows it is not invariant")
+	}
+}
+
+// Section 3.4: "the non-temporal part of M (which is also a part of S) is
+// always at most polynomial in size" — check it is carried in the
+// specification at all.
+func TestPaperNonTemporalPartInSpecification(t *testing.T) {
+	db, err := OpenUnit(`
+p(T+1, X) :- p(T, X).
+ever(X) :- p(T, X).
+p(0, a).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.Specification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "ever(a).") {
+		t.Errorf("non-temporal part missing from B:\n%s", s)
+	}
+	yes, err := db.Holds("ever", "a")
+	if err != nil || !yes {
+		t.Errorf("ever(a) = %v, %v", yes, err)
+	}
+}

@@ -1,0 +1,331 @@
+package tdd
+
+import (
+	"strings"
+	"testing"
+)
+
+const skiUnit = `
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+offseason(T+10) :- offseason(T).
+winter(T+10) :- winter(T).
+holiday(T+10) :- holiday(T).
+winter(0). winter(1). winter(2). winter(3).
+offseason(4). offseason(5). offseason(6). offseason(7). offseason(8). offseason(9).
+holiday(1).
+resort(hunter).
+plane(0, hunter).
+`
+
+func TestOpenAndAsk(t *testing.T) {
+	db, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]bool{
+		"plane(0, hunter)":                         true,
+		"plane(3, hunter)":                         false,
+		"exists T (plane(T, hunter) & holiday(T))": true,
+		"!plane(5, hunter)":                        true,
+	}
+	for q, want := range cases {
+		got, err := db.Ask(q)
+		if err != nil {
+			t.Fatalf("Ask(%q): %v", q, err)
+		}
+		if got != want {
+			t.Errorf("Ask(%q) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestOpenSeparateSources(t *testing.T) {
+	db, err := Open("even(T+2) :- even(T).", "even(0).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.HoldsAt("even", 123456)
+	if err != nil || !got {
+		t.Errorf("even(123456) = %v, %v", got, err)
+	}
+	got, err = db.HoldsAt("even", 123457)
+	if err != nil || got {
+		t.Errorf("even(123457) = %v, %v", got, err)
+	}
+}
+
+func TestAskRejectsOpenQuery(t *testing.T) {
+	db, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Ask("plane(T, hunter)"); err == nil || !strings.Contains(err.Error(), "open query") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAnswersAndFormat(t *testing.T) {
+	db, err := Open("even(T+2) :- even(T).", "even(0).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := db.Answers("even(T)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatAnswers(ans); got != "T=0\nT=2\n" {
+		t.Errorf("answers = %q", got)
+	}
+	// Closed true query yields a single "yes".
+	ans, err = db.Answers("even(0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatAnswers(ans); got != "yes\n" {
+		t.Errorf("closed answers = %q", got)
+	}
+}
+
+func TestHolds(t *testing.T) {
+	db, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Holds("resort", "hunter")
+	if err != nil || !got {
+		t.Errorf("resort(hunter) = %v, %v", got, err)
+	}
+	got, err = db.Holds("resort", "aspen")
+	if err != nil || got {
+		t.Errorf("resort(aspen) = %v, %v", got, err)
+	}
+}
+
+func TestPeriodSpecificationWork(t *testing.T) {
+	db, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P != 10 {
+		t.Errorf("period = %v", p)
+	}
+	specStr, err := db.Specification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(specStr, "W = {") {
+		t.Errorf("specification missing rewrite rule:\n%s", specStr)
+	}
+	reps, facts, err := db.SpecificationSize()
+	if err != nil || reps == 0 || facts == 0 {
+		t.Errorf("size = (%d, %d), %v", reps, facts, err)
+	}
+	work, err := db.Work()
+	if err != nil || !strings.Contains(work, "period=") {
+		t.Errorf("work = %q, %v", work, err)
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	db, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := db.StateAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(s0, " ")
+	if !strings.Contains(joined, "plane(hunter)") || !strings.Contains(joined, "winter") {
+		t.Errorf("StateAt(0) = %v", s0)
+	}
+	// Deep states resolve through the rewrite rule.
+	deep, err := db.StateAt(1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := db.StateAt(1000010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(deep, "|") != strings.Join(same, "|") {
+		t.Errorf("states 10^6 and 10^6+10 differ: %v vs %v", deep, same)
+	}
+}
+
+func TestClassifyMethodsAndFunction(t *testing.T) {
+	db, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := db.Classify(false)
+	if !rep.MultiSeparable || rep.Inflationary {
+		t.Errorf("report = %+v", rep)
+	}
+	rep2, err := Classify("even(T+2) :- even(T).", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.IPeriod == nil || rep2.IPeriod.P != 2 {
+		t.Errorf("I-period = %v (%s)", rep2.IPeriod, rep2.IPeriodErr)
+	}
+}
+
+func TestRulesFactsRoundTrip(t *testing.T) {
+	db, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(db.Rules(), db.Facts())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	a, _ := db.Ask("plane(11, hunter)")
+	b, _ := db2.Ask("plane(11, hunter)")
+	if a != b {
+		t.Error("round-tripped database answers differently")
+	}
+}
+
+func TestWithMaxWindow(t *testing.T) {
+	db, err := OpenUnit("a(T+2) :- a(T).\nb(T+3) :- b(T).\nc(T+5) :- c(T).\na(0). b(0). c(0).", WithMaxWindow(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Period(); err == nil {
+		t.Error("expected window-budget error")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := OpenUnit("p(T, X) :- q(T+1, X).\nq(0, a)."); err == nil {
+		t.Error("non-forward program accepted")
+	}
+	if _, err := OpenUnit("p("); err == nil {
+		t.Error("syntax error accepted")
+	}
+	if _, err := Open("even(T+2) :- even(T).\neven(0).", ""); err == nil {
+		t.Error("fact in rule source accepted")
+	}
+}
+
+func TestAnswersLimitPublic(t *testing.T) {
+	db, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := db.Answers("winter(T)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := db.AnswersLimit("winter(T)", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 3 || len(all) <= 3 {
+		t.Errorf("limited = %d (all = %d), want 3 < all", len(limited), len(all))
+	}
+}
+
+func TestExplainPublic(t *testing.T) {
+	db, err := OpenUnit(skiUnit, WithProvenance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Explain("plane(4, hunter)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plane(4, hunter)", "[by plane(T+2, X)", "plane(0, hunter)   [database fact]", "winter(0)   [database fact]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Deep query: rewritten to a representative first.
+	deep, err := db.Explain("plane(1000002, hunter)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(deep, "rewrites to time") {
+		t.Errorf("deep explain missing rewrite note:\n%s", deep)
+	}
+	// Errors.
+	if _, err := db.Explain("plane(T, hunter)", 0); err == nil {
+		t.Error("non-ground query explained")
+	}
+	if _, err := db.Explain("plane(3, hunter)", 0); err == nil {
+		t.Error("false fact explained")
+	}
+	plain, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Explain("plane(4, hunter)", 0); err == nil {
+		t.Error("Explain without WithProvenance succeeded")
+	}
+}
+
+func TestExportImportSpecPublic(t *testing.T) {
+	db, err := OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := db.ExportSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := ImportSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := db.Period(); sdb.Period() != p {
+		t.Errorf("period %v vs %v", sdb.Period(), p)
+	}
+	for _, q := range []string{
+		"plane(0, hunter)",
+		"plane(3, hunter)",
+		"plane(1000002, hunter)",
+		"exists T (plane(T, hunter) & holiday(T))",
+		"forall X (!resort(X) | exists T plane(T, X))",
+	} {
+		want, err := db.Ask(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sdb.Ask(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%q: loaded=%v live=%v", q, got, want)
+		}
+	}
+	wantAns, _ := db.Answers("plane(T, hunter) & winter(T)")
+	gotAns, err := sdb.Answers("plane(T, hunter) & winter(T)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatAnswers(gotAns) != FormatAnswers(wantAns) {
+		t.Errorf("answers differ:\n%s\nvs\n%s", FormatAnswers(gotAns), FormatAnswers(wantAns))
+	}
+	holds, err := sdb.HoldsAt("plane", 22, "hunter")
+	if err != nil || !holds {
+		t.Errorf("HoldsAt = %v, %v", holds, err)
+	}
+	res, err := sdb.Holds("resort", "hunter")
+	if err != nil || !res {
+		t.Errorf("Holds = %v, %v", res, err)
+	}
+	if _, err := sdb.Ask("plane(T, hunter)"); err == nil {
+		t.Error("open query accepted by Ask")
+	}
+	if _, err := ImportSpec([]byte("{")); err == nil {
+		t.Error("garbage imported")
+	}
+}
