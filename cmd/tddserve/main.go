@@ -1,0 +1,124 @@
+// Command tddserve is a long-running HTTP/JSON query service over
+// temporal deductive databases: the Section 3.3 serving workload.
+// Programs are registered once (POST /programs), preprocessed into their
+// relational specifications, and then arbitrarily many queries are
+// answered from the cached specification in O(rewrite) time each.
+//
+// Usage:
+//
+//	tddserve [flags] [unitfile.tdd ...]
+//
+// Each unitfile argument is preloaded into the registry at boot; its
+// assigned id is printed to stdout.
+//
+// Flags:
+//
+//	-addr a     listen address (default 127.0.0.1:8080; port 0 picks a free port)
+//	-workers n  concurrent query evaluations (default: number of CPUs)
+//	-queue n    additional requests allowed to wait for a worker (default 4×workers)
+//	-cache n    warm specifications kept resident, LRU (default 64)
+//	-timeout d  per-request deadline (default 30s; negative disables)
+//	-window n   period-certification window budget per program (0 = engine default)
+//	-quiet      suppress per-request logs
+//
+// Endpoints:
+//
+//	POST /programs               {"unit": "..."} or {"rules": "...", "facts": "..."}
+//	GET  /programs               registered ids
+//	POST /programs/{id}/ask      {"query": "even(1000000)"}
+//	POST /programs/{id}/answers  {"query": "even(T)", "limit": 10}
+//	GET  /programs/{id}/period   certified minimal period
+//	GET  /programs/{id}/spec     exported relational specification (JSON)
+//	GET  /healthz                liveness
+//	GET  /metrics                counters, latency histograms, cache stats
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests drain, then the worker pool stops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tdd/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tddserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent query evaluations (0 = number of CPUs)")
+	queue := flag.Int("queue", 0, "waiting requests beyond the running ones (0 = 4x workers)")
+	cache := flag.Int("cache", 64, "warm specifications kept resident (LRU)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (negative disables)")
+	window := flag.Int("window", 0, "period-certification window budget (0 = default)")
+	quiet := flag.Bool("quiet", false, "suppress per-request logs")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cfg := server.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+		MaxWindow:      *window,
+	}
+	if !*quiet {
+		cfg.Logger = logger
+	}
+	srv := server.New(cfg)
+
+	// Preload unit files so the cache is warm before the first request.
+	for _, file := range flag.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		ent, existing, err := srv.Registry().Register(string(src), "", "")
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", file, err)
+		}
+		_ = existing
+		fmt.Printf("tddserve: loaded %s as %s\n", file, ent.ID())
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is machine-readable: with -addr host:0
+	// callers (tests, scripts) parse the actual port from it.
+	fmt.Printf("tddserve: listening on http://%s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Println("tddserve: shutdown complete")
+	return nil
+}

@@ -17,7 +17,7 @@ var (
 	buildErr  error
 )
 
-// binaries builds all three tools once per test run.
+// binaries builds the tools under test once per test run.
 func binaries(t *testing.T) string {
 	t.Helper()
 	buildOnce.Do(func() {
@@ -25,7 +25,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		cmd := exec.Command("go", "build", "-o", binDir, "tdd/cmd/tddquery", "tdd/cmd/tddcheck", "tdd/cmd/tddbench")
+		cmd := exec.Command("go", "build", "-o", binDir, "tdd/cmd/tddquery", "tdd/cmd/tddcheck", "tdd/cmd/tddbench", "tdd/cmd/tddserve")
 		out, err := cmd.CombinedOutput()
 		if err != nil {
 			buildErr = err

@@ -1,0 +1,151 @@
+package clitest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServe boots tddserve on an ephemeral port and returns its base
+// URL. The server is sent SIGTERM and waited for at test cleanup.
+func startServe(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), "tddserve"),
+		append([]string{"-addr", "127.0.0.1:0", "-quiet"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = nil
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("tddserve did not exit cleanly: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill() //nolint:errcheck
+			t.Error("tddserve did not shut down within 10s of SIGTERM")
+		}
+	})
+
+	// The boot banner carries the resolved ephemeral address:
+	// "tddserve: listening on http://127.0.0.1:PORT". Preload lines may
+	// precede it.
+	scanner := bufio.NewScanner(stdout)
+	deadline := time.Now().Add(15 * time.Second)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			return strings.TrimSpace(line[i+len("listening on "):])
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	t.Fatalf("tddserve never printed its listen address (scan err: %v)", scanner.Err())
+	return ""
+}
+
+func TestServeAskRoundTrip(t *testing.T) {
+	base := startServe(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", resp.StatusCode)
+	}
+
+	// Register the quickstart even program.
+	body, _ := json.Marshal(map[string]string{"unit": evenUnit})
+	resp, err = http.Post(base+"/programs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		ID     string `json:"id"`
+		Period struct {
+			Base int `json:"base"`
+			P    int `json:"p"`
+		} `json:"period"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d, want 201", resp.StatusCode)
+	}
+	if reg.Period.Base != 1 || reg.Period.P != 2 {
+		t.Errorf("period = (b=%d, p=%d), want (b=1, p=2)", reg.Period.Base, reg.Period.P)
+	}
+
+	// Ask round-trip: a deep ground query answered from the cached spec.
+	ask := func(query string) bool {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"query": query})
+		resp, err := http.Post(fmt.Sprintf("%s/programs/%s/ask", base, reg.ID),
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ar struct {
+			Result bool   `json:"result"`
+			Engine string `json:"engine"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ask %s: status %d", query, resp.StatusCode)
+		}
+		if ar.Engine != "spec" {
+			t.Errorf("ask %s answered by %q, want the spec cache", query, ar.Engine)
+		}
+		return ar.Result
+	}
+	if !ask("even(1000000)") {
+		t.Error("even(1000000) should hold")
+	}
+	if ask("even(999999)") {
+		t.Error("even(999999) should not hold")
+	}
+}
+
+func TestServePreload(t *testing.T) {
+	file := writeFile(t, "even.tdd", evenUnit)
+	base := startServe(t, file)
+
+	resp, err := http.Get(base + "/programs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Programs []string `json:"programs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Programs) != 1 {
+		t.Fatalf("preloaded programs = %v, want exactly one", list.Programs)
+	}
+}

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"tdd/internal/ast"
 	"tdd/internal/engine"
@@ -32,11 +33,23 @@ import (
 const DefaultMaxWindow = 1 << 20
 
 // BT is a query processor for one temporal deductive database Z ∧ D.
+//
+// A BT is safe for concurrent use by multiple goroutines. The only
+// mutation after construction is the lazy, adaptive-window computation of
+// the relational specification (period certification grows the evaluator's
+// window and fact store); mu serializes it. Once the specification is
+// certified the evaluator is never mutated again, so every query path is a
+// read-only traversal of immutable structure — queries on a warm BT
+// contend only on one uncontended mutex acquisition.
 type BT struct {
 	eval      *engine.Evaluator
 	maxWindow int
-	spec      *spec.Spec // computed lazily
 	preds     map[string]ast.PredInfo
+
+	// mu guards spec and every mutation of eval (window growth, store
+	// inserts, stats, provenance) performed while computing it.
+	mu   sync.Mutex
+	spec *spec.Spec // computed lazily under mu
 }
 
 // Option configures a BT processor.
@@ -76,8 +89,19 @@ func (b *BT) Preds() map[string]ast.PredInfo { return b.preds }
 func (b *BT) Evaluator() *engine.Evaluator { return b.eval }
 
 // Specification computes (and caches) the relational specification
-// S = (T, B, W) of the least model.
+// S = (T, B, W) of the least model. Concurrent callers are serialized;
+// exactly one performs the computation. Failures (period not certifiable
+// within the window budget) are not cached, so a later call with more
+// luck — there is none; the computation is deterministic — simply fails
+// again without corrupting state.
 func (b *BT) Specification() (*spec.Spec, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.specification()
+}
+
+// specification is Specification with mu held.
+func (b *BT) specification() (*spec.Spec, error) {
 	if b.spec != nil {
 		return b.spec, nil
 	}
@@ -104,23 +128,24 @@ func (b *BT) Period() (period.Period, error) {
 // rewrite plus a lookup), so the temporal depth h contributes O(1) work —
 // the heart of the tractability argument.
 func (b *BT) AskFact(f ast.Fact) (bool, error) {
-	if f.Temporal && f.Time > b.eval.Window() {
-		s, err := b.Specification()
-		if err != nil {
-			return false, err
-		}
-		return s.HoldsFact(f), nil
+	// The window only grows while the specification is being computed, so
+	// certifying it first (under mu) freezes the evaluator; the reads below
+	// then race with nothing. Before the first certification the window is
+	// -1, so no query was ever answerable from the direct path anyway.
+	b.mu.Lock()
+	s, err := b.specification()
+	w := b.eval.Window()
+	b.mu.Unlock()
+	if err != nil {
+		return false, err
 	}
-	if !f.Temporal {
-		// Non-temporal consequences accumulate over the whole model; only
-		// the specification window is guaranteed complete.
-		s, err := b.Specification()
-		if err != nil {
-			return false, err
-		}
-		return s.HoldsFact(f), nil
+	if f.Temporal && f.Time <= w {
+		return b.eval.Holds(f), nil
 	}
-	return b.eval.Holds(f), nil
+	// Deeper temporal queries are answered through the specification (one
+	// rewrite plus a lookup); non-temporal consequences accumulate over the
+	// whole model, and only the specification window is guaranteed complete.
+	return s.HoldsFact(f), nil
 }
 
 // Ask answers a closed temporal first-order query over the relational
@@ -164,7 +189,9 @@ func (w WorkSummary) String() string {
 
 // Work computes the specification (if needed) and reports the work done.
 func (b *BT) Work() (WorkSummary, error) {
-	s, err := b.Specification()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, err := b.specification()
 	if err != nil {
 		return WorkSummary{}, err
 	}
@@ -185,12 +212,17 @@ func (b *BT) Work() (WorkSummary, error) {
 // representative instance, which by periodicity is the same up to a time
 // shift.
 func (b *BT) Explain(f ast.Fact, maxDepth int) (string, error) {
+	// Certify the specification first so the evaluator (including the
+	// provenance map) is frozen before it is read; see AskFact.
+	b.mu.Lock()
+	s, serr := b.specification()
+	w := b.eval.Window()
+	b.mu.Unlock()
+	if serr != nil {
+		return "", serr
+	}
 	prefix := ""
-	if f.Temporal && f.Time > b.eval.Window() {
-		s, err := b.Specification()
-		if err != nil {
-			return "", err
-		}
+	if f.Temporal && f.Time > w {
 		rewritten := s.Rewrite(f.Time)
 		if rewritten != f.Time {
 			prefix = fmt.Sprintf("%s rewrites to time %d (period %v):\n", f, rewritten, s.Period)

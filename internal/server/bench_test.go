@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tdd"
+)
+
+// BenchmarkServedWarmAsk measures one served closed query on a warm spec
+// cache — the E7 fast path the server exists for: HTTP round-trip + one
+// rewrite + one lookup.
+func BenchmarkServedWarmAsk(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	buf, _ := json.Marshal(registerRequest{Unit: skiUnit})
+	resp, err := http.Post(ts.URL+"/programs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reg registerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	url := ts.URL + "/programs/" + reg.ID + "/ask"
+	body, _ := json.Marshal(askRequest{Query: "plane(1000000, hunter)"})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ar askResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkColdOpenAsk is the comparison point: what every query would
+// cost without the server's cache — parse, validate, evaluate, certify
+// the period, then answer.
+func BenchmarkColdOpenAsk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		db, err := tdd.OpenUnit(skiUnit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Ask("plane(1000000, hunter)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServedWarmAskParallel drives the warm path from many client
+// goroutines at once — the heavy-traffic shape.
+func BenchmarkServedWarmAskParallel(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	buf, _ := json.Marshal(registerRequest{Unit: evenUnit})
+	resp, err := http.Post(ts.URL+"/programs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reg registerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	url := ts.URL + "/programs/" + reg.ID + "/ask"
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body, _ := json.Marshal(askRequest{Query: fmt.Sprintf("even(%d)", 1000000+2*i)})
+			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ar askResponse
+			if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if !ar.Result {
+				b.Fatalf("even(%d) served false", 1000000+2*i)
+			}
+			i++
+		}
+	})
+}

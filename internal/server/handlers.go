@@ -1,0 +1,308 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tdd"
+)
+
+// Wire types. Every response body is JSON; errors are {"error": "..."}
+// with a matching status code.
+
+type registerRequest struct {
+	// Unit is a mixed rules+facts source (facts are the ground unit
+	// clauses); alternatively Rules and Facts are separate sources.
+	Unit  string `json:"unit,omitempty"`
+	Rules string `json:"rules,omitempty"`
+	Facts string `json:"facts,omitempty"`
+}
+
+type periodJSON struct {
+	Base int `json:"base"`
+	P    int `json:"p"`
+}
+
+type registerResponse struct {
+	ID              string     `json:"id"`
+	Existing        bool       `json:"existing"`
+	Period          periodJSON `json:"period"`
+	Representatives int        `json:"representatives"`
+	Facts           int        `json:"facts"`
+}
+
+type askRequest struct {
+	Query string `json:"query"`
+}
+
+type askResponse struct {
+	Result    bool   `json:"result"`
+	Engine    string `json:"engine"` // "spec" (cache fast path) or "bt" (fallback)
+	ElapsedUs int64  `json:"elapsed_us"`
+}
+
+type answersRequest struct {
+	Query string `json:"query"`
+	Limit int    `json:"limit,omitempty"` // 0 = unlimited
+}
+
+type answerJSON struct {
+	Temporal    map[string]int    `json:"temporal,omitempty"`
+	NonTemporal map[string]string `json:"non_temporal,omitempty"`
+}
+
+type answersResponse struct {
+	Answers []answerJSON `json:"answers"`
+	Count   int          `json:"count"`
+	// Rewrite is the specification's rewrite rule; each temporal binding
+	// t stands for the infinite family reachable by running the rule
+	// backwards (t, t+p, t+2p, ... once t >= base).
+	Rewrite   string `json:"rewrite"`
+	Engine    string `json:"engine"`
+	ElapsedUs int64  `json:"elapsed_us"`
+}
+
+type listResponse struct {
+	Programs []string `json:"programs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies; programs and queries are text, a
+// megabyte is already generous.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck // best effort; client may be gone
+}
+
+// writeError maps an error to a JSON error response. Timeout and
+// overload conditions become 503 so load balancers retry elsewhere;
+// unknown programs 404; everything else is a client error 400.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+		s.metrics.Timeouts.Add(1)
+		err = fmt.Errorf("request timed out or was canceled: %w", err)
+	case errors.Is(err, ErrPoolClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// dispatch runs fn on the worker pool under the per-request deadline.
+func (s *Server) dispatch(r *http.Request, fn func()) error {
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	return s.pool.Do(ctx, fn)
+}
+
+// POST /programs
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Unit == "" && req.Rules == "" {
+		s.writeError(w, errors.New(`need "unit" or "rules" (+ optional "facts")`))
+		return
+	}
+	if req.Unit != "" && (req.Rules != "" || req.Facts != "") {
+		s.writeError(w, errors.New(`"unit" excludes "rules"/"facts"`))
+		return
+	}
+	var (
+		ent      *entry
+		existing bool
+		err      error
+	)
+	if derr := s.dispatch(r, func() {
+		ent, existing, err = s.reg.Register(req.Unit, req.Rules, req.Facts)
+	}); derr != nil {
+		s.writeError(w, derr)
+		return
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	status := http.StatusCreated
+	if existing {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, registerResponse{
+		ID:              ent.src.id,
+		Existing:        existing,
+		Period:          periodJSON{Base: ent.period.Base, P: ent.period.P},
+		Representatives: ent.reps,
+		Facts:           ent.facts,
+	})
+}
+
+// GET /programs
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, listResponse{Programs: s.reg.IDs()})
+}
+
+// POST /programs/{id}/ask
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var (
+		resp askResponse
+		err  error
+	)
+	// Capture request-derived values before dispatch: on timeout the
+	// worker may still run the closure after this handler has returned,
+	// when r is no longer safe to touch.
+	id := r.PathValue("id")
+	start := time.Now()
+	if derr := s.dispatch(r, func() {
+		var ent *entry
+		ent, err = s.reg.Lookup(id)
+		if err != nil {
+			return
+		}
+		resp.Result, resp.Engine, err = ent.ask(req.Query, s.metrics)
+	}); derr != nil {
+		s.writeError(w, derr)
+		return
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp.ElapsedUs = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// POST /programs/{id}/answers
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	var req answersRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Limit < 0 {
+		s.writeError(w, errors.New("limit must be >= 0"))
+		return
+	}
+	var (
+		ans    []tdd.Answer
+		engine string
+		ent    *entry
+		err    error
+	)
+	id := r.PathValue("id")
+	start := time.Now()
+	if derr := s.dispatch(r, func() {
+		ent, err = s.reg.Lookup(id)
+		if err != nil {
+			return
+		}
+		ans, engine, err = ent.answers(req.Query, req.Limit, s.metrics)
+	}); derr != nil {
+		s.writeError(w, derr)
+		return
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := answersResponse{
+		Answers:   make([]answerJSON, 0, len(ans)),
+		Count:     len(ans),
+		Rewrite:   fmt.Sprintf("%d -> %d", ent.period.Base+ent.period.P, ent.period.Base),
+		Engine:    engine,
+		ElapsedUs: time.Since(start).Microseconds(),
+	}
+	for _, a := range ans {
+		resp.Answers = append(resp.Answers, answerJSON{Temporal: a.Temporal, NonTemporal: a.NonTemporal})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// GET /programs/{id}/period
+func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
+	var (
+		ent *entry
+		err error
+	)
+	id := r.PathValue("id")
+	if derr := s.dispatch(r, func() {
+		ent, err = s.reg.Lookup(id)
+	}); derr != nil {
+		s.writeError(w, derr)
+		return
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, periodJSON{Base: ent.period.Base, P: ent.period.P})
+}
+
+// GET /programs/{id}/spec — the exported relational specification, the
+// exact JSON tdd.ImportSpec accepts, so clients can serve queries
+// locally without the rules or the server.
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	var (
+		ent *entry
+		err error
+	)
+	id := r.PathValue("id")
+	if derr := s.dispatch(r, func() {
+		ent, err = s.reg.Lookup(id)
+	}); derr != nil {
+		s.writeError(w, derr)
+		return
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(ent.specJSON) //nolint:errcheck
+}
+
+// GET /healthz
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// GET /metrics
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}

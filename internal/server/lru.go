@@ -1,0 +1,81 @@
+package server
+
+import "container/list"
+
+// lru is a fixed-capacity least-recently-used cache. It is not safe for
+// concurrent use; the registry serializes access under its own mutex.
+type lru[V any] struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	onEvict  func(key string, value V)
+}
+
+type lruEntry[V any] struct {
+	key   string
+	value V
+}
+
+// newLRU builds a cache holding at most capacity entries (capacity >= 1).
+// onEvict, if non-nil, is called for every entry displaced by put or
+// removed by remove — not for entries still resident when the cache is
+// dropped.
+func newLRU[V any](capacity int, onEvict func(string, V)) *lru[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		onEvict:  onEvict,
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lru[V]) get(key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or refreshes the value, evicting the least recently used
+// entry when over capacity.
+func (c *lru[V]) put(key string, value V) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry[V]).value = value
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, value: value})
+	for c.ll.Len() > c.capacity {
+		c.evictOldest()
+	}
+}
+
+// remove drops the entry if present.
+func (c *lru[V]) remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *lru[V]) len() int { return c.ll.Len() }
+
+func (c *lru[V]) evictOldest() {
+	if el := c.ll.Back(); el != nil {
+		c.removeElement(el)
+	}
+}
+
+func (c *lru[V]) removeElement(el *list.Element) {
+	c.ll.Remove(el)
+	e := el.Value.(*lruEntry[V])
+	delete(c.items, e.key)
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.value)
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// bucketBoundsMicros are the upper bounds (inclusive, in microseconds) of
+// the latency histogram buckets; a final implicit +Inf bucket catches the
+// rest. Spec-cache hits land in the leftmost buckets, cold compiles and
+// period certifications in the right tail — the histogram exists to make
+// that separation visible.
+var bucketBoundsMicros = [...]int64{
+	50, 100, 250, 500,
+	1000, 2500, 5000, 10000,
+	25000, 50000, 100000, 250000,
+	500000, 1000000, 5000000,
+}
+
+// histogram is a fixed-bucket latency histogram with lock-free updates.
+type histogram struct {
+	buckets   [len(bucketBoundsMicros) + 1]atomic.Int64
+	count     atomic.Int64
+	sumMicros atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	i := 0
+	for i < len(bucketBoundsMicros) && us > bucketBoundsMicros[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumMicros.Add(us)
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count     int64            `json:"count"`
+	MeanUs    float64          `json:"mean_us"`
+	Buckets   map[string]int64 `json:"buckets,omitempty"`
+	MaxBucket string           `json:"-"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Buckets: make(map[string]int64)}
+	if s.Count > 0 {
+		s.MeanUs = float64(h.sumMicros.Load()) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if i < len(bucketBoundsMicros) {
+			s.Buckets[formatMicros(bucketBoundsMicros[i])] = n
+		} else {
+			s.Buckets["+Inf"] = n
+		}
+	}
+	return s
+}
+
+func formatMicros(us int64) string {
+	return "le_" + time.Duration(us*int64(time.Microsecond)).String()
+}
+
+// routeMetrics instruments one route.
+type routeMetrics struct {
+	Requests atomic.Int64
+	Errors   atomic.Int64
+	latency  histogram
+}
+
+// RouteSnapshot is the JSON form of a route's metrics.
+type RouteSnapshot struct {
+	Requests int64             `json:"requests"`
+	Errors   int64             `json:"errors"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// Metrics is the server's observability state: request counters and
+// latency histograms per route, cache and engine counters, and an
+// in-flight gauge. All fields are updated with atomics; a snapshot is
+// served at GET /metrics.
+type Metrics struct {
+	Requests    atomic.Int64 // all requests, any route
+	Errors      atomic.Int64 // responses with status >= 400
+	InFlight    atomic.Int64 // currently executing requests
+	Timeouts    atomic.Int64 // requests that hit the per-request deadline
+	CacheHits   atomic.Int64 // spec-cache lookups answered warm
+	CacheMisses atomic.Int64 // spec-cache lookups that had to (re)compile
+	CacheEvict  atomic.Int64 // entries displaced by the LRU policy
+	Fallbacks   atomic.Int64 // queries the spec path failed and BT answered
+
+	routes map[string]*routeMetrics
+}
+
+// newMetrics pre-creates the per-route slots so handler-path updates are
+// lock-free map reads.
+func newMetrics(routes []string) *Metrics {
+	m := &Metrics{routes: make(map[string]*routeMetrics, len(routes))}
+	for _, r := range routes {
+		m.routes[r] = &routeMetrics{}
+	}
+	return m
+}
+
+func (m *Metrics) route(name string) *routeMetrics { return m.routes[name] }
+
+// MetricsSnapshot is the GET /metrics response body.
+type MetricsSnapshot struct {
+	Requests    int64                    `json:"requests"`
+	Errors      int64                    `json:"errors"`
+	InFlight    int64                    `json:"in_flight"`
+	Timeouts    int64                    `json:"timeouts"`
+	CacheHits   int64                    `json:"cache_hits"`
+	CacheMisses int64                    `json:"cache_misses"`
+	CacheEvict  int64                    `json:"cache_evictions"`
+	Fallbacks   int64                    `json:"bt_fallbacks"`
+	Routes      map[string]RouteSnapshot `json:"routes"`
+}
+
+// Snapshot captures a consistent-enough view for serving: counters are
+// read individually (no global lock), which is the standard monitoring
+// trade-off.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests:    m.Requests.Load(),
+		Errors:      m.Errors.Load(),
+		InFlight:    m.InFlight.Load(),
+		Timeouts:    m.Timeouts.Load(),
+		CacheHits:   m.CacheHits.Load(),
+		CacheMisses: m.CacheMisses.Load(),
+		CacheEvict:  m.CacheEvict.Load(),
+		Fallbacks:   m.Fallbacks.Load(),
+		Routes:      make(map[string]RouteSnapshot, len(m.routes)),
+	}
+	for name, r := range m.routes {
+		s.Routes[name] = RouteSnapshot{
+			Requests: r.Requests.Load(),
+			Errors:   r.Errors.Load(),
+			Latency:  r.latency.snapshot(),
+		}
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Pool errors.
+var (
+	// ErrPoolClosed is returned by Do once Close has been called.
+	ErrPoolClosed = errors.New("server: worker pool closed")
+)
+
+// task is one unit of submitted work. done is closed by the worker after
+// fn returns, establishing the happens-before edge that lets the
+// submitter read anything fn wrote.
+type task struct {
+	ctx  context.Context
+	fn   func()
+	done chan struct{}
+}
+
+// Pool is a bounded worker pool: a fixed set of goroutines draining a
+// bounded queue. It is the server's admission controller — at most
+// `workers` query evaluations run at once, at most `queue` more wait, and
+// beyond that submitters block until their per-request deadline expires.
+// That turns overload into prompt 503s instead of a goroutine pile-up,
+// and caps the memory the evaluation engine can pin concurrently.
+type Pool struct {
+	tasks  chan task
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewPool starts `workers` worker goroutines with a queue of `queue`
+// waiting tasks (both forced to at least 1 / 0).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{
+		tasks:  make(chan task, queue),
+		closed: make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.closed:
+			return
+		case t := <-p.tasks:
+			// Skip tasks whose submitter already gave up; their response
+			// has been written.
+			if t.ctx.Err() == nil {
+				t.fn()
+			}
+			close(t.done)
+		}
+	}
+}
+
+// Do runs fn on a pool worker and returns once it has completed. It
+// returns ctx.Err() if the task could not be queued or did not finish
+// before the context was done (the worker may still run fn to completion
+// in the background; the caller must not read fn's results after a
+// non-nil return), and ErrPoolClosed during shutdown.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	t := task{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case p.tasks <- t:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.closed:
+		return ErrPoolClosed
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.closed:
+		return ErrPoolClosed
+	}
+}
+
+// Close stops the workers and waits for them to exit. In-flight tasks
+// finish; queued tasks are abandoned (their submitters get ErrPoolClosed).
+// The server shuts its HTTP listener down first, so by the time Close
+// runs no request handlers remain.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.closed) })
+	p.wg.Wait()
+}

@@ -1,0 +1,287 @@
+// Package server implements tddserve: a long-running HTTP/JSON query
+// service over temporal deductive databases.
+//
+// The serving model is the paper's Section 3.3 workload (validated by
+// experiment E7): preprocess one program into its relational
+// specification once, then answer arbitrarily many queries from the
+// finite specification in O(rewrite) time each. The subsystem is
+//
+//   - a program registry: clients POST a rules+facts pair and get back a
+//     stable handle (the content hash), so registration is idempotent and
+//     cacheable across clients;
+//   - an LRU specification cache: each registered program is compiled and
+//     preprocessed (period certified, specification exported and
+//     re-imported as an immutable tdd.SpecDB) at most once while resident;
+//     queries hit the warm SpecDB — the E7 fast path — and fall back to
+//     the BT engine when the spec path cannot answer;
+//   - a bounded worker pool with per-request deadlines, so overload
+//     degrades into prompt errors rather than unbounded concurrency;
+//   - an observability layer: request/error counters, latency histograms,
+//     cache hit/miss/eviction counts, and an in-flight gauge at
+//     GET /metrics, plus structured request logging.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tdd"
+)
+
+// ErrNotFound is returned by Lookup for an unregistered program id.
+var ErrNotFound = errors.New("server: unknown program id")
+
+// programSource is the registered, never-evicted form of a program: just
+// its sources and content hash. Recompiling from it after an eviction is
+// deterministic, so the cache can always be refilled.
+type programSource struct {
+	id    string
+	unit  string // mixed rules+facts source ("" when rules/facts are split)
+	rules string
+	facts string
+}
+
+// entry is a warm program: the compiled BT engine plus the preprocessed
+// specification. specDB answers every query the spec path supports from
+// immutable structure with no locking; db is the fallback engine and the
+// source of the exported specification.
+type entry struct {
+	src      *programSource
+	db       *tdd.DB
+	specDB   *tdd.SpecDB
+	specJSON []byte
+	period   tdd.Period
+	reps     int // |T|, representative terms
+	facts    int // |B|, primary-database facts
+}
+
+// ID returns the registry handle (content hash) of the program.
+func (e *entry) ID() string { return e.src.id }
+
+// Period returns the certified minimal period.
+func (e *entry) Period() tdd.Period { return e.period }
+
+// future caches one compile-in-progress so concurrent misses on the same
+// id do the work once (no thundering herd on expensive period
+// certifications).
+type future struct {
+	once  sync.Once
+	entry *entry
+	err   error
+}
+
+func (f *future) resolve(build func() (*entry, error)) (*entry, error) {
+	f.once.Do(func() { f.entry, f.err = build() })
+	return f.entry, f.err
+}
+
+// Registry stores registered program sources (unbounded — sources are
+// tiny) and a bounded LRU cache of their preprocessed specifications
+// (bounded — a warm entry pins the whole evaluated window). It is safe
+// for concurrent use.
+type Registry struct {
+	maxWindow int
+	metrics   *Metrics
+
+	mu    sync.Mutex
+	progs map[string]*programSource
+	cache *lru[*future]
+}
+
+// NewRegistry builds a registry whose spec cache holds at most cacheSize
+// warm programs; maxWindow (0 = default) bounds period certification.
+func NewRegistry(cacheSize, maxWindow int, m *Metrics) *Registry {
+	r := &Registry{
+		maxWindow: maxWindow,
+		metrics:   m,
+		progs:     make(map[string]*programSource),
+	}
+	r.cache = newLRU[*future](cacheSize, func(string, *future) {
+		m.CacheEvict.Add(1)
+	})
+	return r
+}
+
+// hashSource derives the registry handle: a content hash, so registering
+// the same program twice — from any client — yields the same id.
+func hashSource(unit, rules, facts string) string {
+	h := sha256.New()
+	h.Write([]byte(unit))
+	h.Write([]byte{0})
+	h.Write([]byte(rules))
+	h.Write([]byte{0})
+	h.Write([]byte(facts))
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// compile builds a warm entry: parse and validate, certify the period,
+// export the relational specification, and re-import it as the immutable
+// serving structure.
+func (r *Registry) compile(src *programSource) (*entry, error) {
+	var opts []tdd.Option
+	if r.maxWindow > 0 {
+		opts = append(opts, tdd.WithMaxWindow(r.maxWindow))
+	}
+	var (
+		db  *tdd.DB
+		err error
+	)
+	if src.unit != "" {
+		db, err = tdd.OpenUnit(src.unit, opts...)
+	} else {
+		db, err = tdd.Open(src.rules, src.facts, opts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	specJSON, err := db.ExportSpec()
+	if err != nil {
+		return nil, fmt.Errorf("preprocessing: %w", err)
+	}
+	specDB, err := tdd.ImportSpec(specJSON)
+	if err != nil {
+		return nil, fmt.Errorf("reloading specification: %w", err)
+	}
+	reps, facts, err := db.SpecificationSize()
+	if err != nil {
+		return nil, err
+	}
+	return &entry{
+		src:      src,
+		db:       db,
+		specDB:   specDB,
+		specJSON: specJSON,
+		period:   specDB.Period(),
+		reps:     reps,
+		facts:    facts,
+	}, nil
+}
+
+// Register registers (or re-registers) a program and returns its warm
+// entry. existing reports whether the id was already registered.
+// Registration compiles eagerly so clients learn about invalid programs
+// and uncertifiable periods at registration time, not on first query.
+func (r *Registry) Register(unit, rules, facts string) (e *entry, existing bool, err error) {
+	id := hashSource(unit, rules, facts)
+	r.mu.Lock()
+	if _, ok := r.progs[id]; ok {
+		r.mu.Unlock()
+		e, err = r.Lookup(id)
+		return e, true, err
+	}
+	r.mu.Unlock()
+
+	// Compile outside the lock; registration of distinct programs
+	// proceeds in parallel. Two racing registrations of the same program
+	// both compile — idempotent, and the second simply refreshes the
+	// cache slot.
+	src := &programSource{id: id, unit: unit, rules: rules, facts: facts}
+	ent, err := r.compile(src)
+	if err != nil {
+		return nil, false, err
+	}
+	f := &future{}
+	f.once.Do(func() { f.entry = ent }) // pre-resolve with the fresh entry
+
+	r.mu.Lock()
+	if _, ok := r.progs[id]; !ok {
+		r.progs[id] = src
+	}
+	r.cache.put(id, f)
+	r.mu.Unlock()
+	r.metrics.CacheMisses.Add(1)
+	return ent, false, nil
+}
+
+// Lookup returns the warm entry for a registered id, recompiling on a
+// cache miss (counted in the metrics). Concurrent misses on one id share
+// a single compilation.
+func (r *Registry) Lookup(id string) (*entry, error) {
+	r.mu.Lock()
+	src, ok := r.progs[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	f, hit := r.cache.get(id)
+	if !hit {
+		f = &future{}
+		r.cache.put(id, f)
+	}
+	r.mu.Unlock()
+
+	if hit {
+		r.metrics.CacheHits.Add(1)
+	} else {
+		r.metrics.CacheMisses.Add(1)
+	}
+	e, err := f.resolve(func() (*entry, error) { return r.compile(src) })
+	if err != nil {
+		// Do not cache failures; drop the slot so a later lookup retries.
+		r.mu.Lock()
+		if cur, ok := r.cache.get(id); ok && cur == f {
+			r.cache.remove(id)
+		}
+		r.mu.Unlock()
+		return nil, err
+	}
+	return e, nil
+}
+
+// IDs returns the registered program ids, sorted.
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.progs))
+	for id := range r.progs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CachedLen reports how many programs are currently warm (test hook).
+func (r *Registry) CachedLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cache.len()
+}
+
+// ask answers a closed query for this entry: the cached specification
+// first (the E7 fast path), the BT engine as fallback. engine reports
+// which path answered.
+func (e *entry) ask(q string, m *Metrics) (result bool, engine string, err error) {
+	result, err = e.specDB.Ask(q)
+	if err == nil {
+		return result, "spec", nil
+	}
+	specErr := err
+	result, err = e.db.Ask(q)
+	if err != nil {
+		// Both failed — report the spec error; the paths share a parser,
+		// so this is almost always a malformed query.
+		return false, "", specErr
+	}
+	m.Fallbacks.Add(1)
+	return result, "bt", nil
+}
+
+// answers enumerates (up to limit) answers for this entry, spec path
+// first with BT fallback; see ask.
+func (e *entry) answers(q string, limit int, m *Metrics) (ans []tdd.Answer, engine string, err error) {
+	ans, err = e.specDB.AnswersLimit(q, limit)
+	if err == nil {
+		return ans, "spec", nil
+	}
+	specErr := err
+	ans, err = e.db.AnswersLimit(q, limit)
+	if err != nil {
+		return nil, "", specErr
+	}
+	m.Fallbacks.Add(1)
+	return ans, "bt", nil
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes a Server. The zero value is usable: DefaultConfig fills in
+// each unset field.
+type Config struct {
+	// Workers bounds concurrent query evaluations (default: NumCPU).
+	Workers int
+	// Queue is how many requests may wait for a worker beyond the ones
+	// running (default: 4×Workers). Further requests block until their
+	// deadline and then get 503.
+	Queue int
+	// CacheSize bounds the number of warm specifications resident at
+	// once (default 64).
+	CacheSize int
+	// RequestTimeout is the per-request deadline covering queueing and
+	// evaluation (default 30s; <0 disables).
+	RequestTimeout time.Duration
+	// MaxWindow bounds period certification per program (0 = engine
+	// default).
+	MaxWindow int
+	// Logger receives structured request logs (default: discard).
+	Logger *slog.Logger
+}
+
+// DefaultConfig resolves unset fields.
+func DefaultConfig(c Config) Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.Workers
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// routeNames label metrics slots; they match the mux patterns below.
+var routeNames = []string{
+	"register", "list", "ask", "answers", "period", "spec", "healthz", "metrics",
+}
+
+// Server is the tddserve HTTP service: registry + spec cache + worker
+// pool + metrics behind a JSON API. Create with New, expose with
+// Handler or Serve, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+	httpSrv *http.Server
+}
+
+// New builds a Server (resolving cfg through DefaultConfig) and starts
+// its worker pool.
+func New(cfg Config) *Server {
+	cfg = DefaultConfig(cfg)
+	m := newMetrics(routeNames)
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		reg:     NewRegistry(cfg.CacheSize, cfg.MaxWindow, m),
+		pool:    NewPool(cfg.Workers, cfg.Queue),
+		mux:     http.NewServeMux(),
+	}
+	s.route("POST /programs", "register", s.handleRegister)
+	s.route("GET /programs", "list", s.handleList)
+	s.route("POST /programs/{id}/ask", "ask", s.handleAsk)
+	s.route("POST /programs/{id}/answers", "answers", s.handleAnswers)
+	s.route("GET /programs/{id}/period", "period", s.handlePeriod)
+	s.route("GET /programs/{id}/spec", "spec", s.handleSpec)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	return s
+}
+
+// Registry exposes the program registry (preloading, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the metrics (tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// route registers pattern with the instrumentation middleware: in-flight
+// gauge, request/error counters, latency histogram, structured log line.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	rm := s.metrics.route(name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.Requests.Add(1)
+		s.metrics.InFlight.Add(1)
+		rm.Requests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+		h(rec, r)
+
+		d := time.Since(start)
+		s.metrics.InFlight.Add(-1)
+		rm.latency.observe(d)
+		if rec.status >= 400 {
+			s.metrics.Errors.Add(1)
+			rm.Errors.Add(1)
+		}
+		s.cfg.Logger.Info("request",
+			"route", name,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_us", d.Microseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// Handler returns the root handler (also useful under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s.httpSrv.Serve(l)
+}
+
+// Shutdown gracefully stops the server: the listener closes, in-flight
+// requests get until ctx's deadline to finish, and only then is the
+// worker pool torn down (so no handler ever sees ErrPoolClosed except
+// past the deadline).
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.pool.Close()
+	return err
+}
+
+// Close releases resources without the graceful drain (tests using only
+// Handler).
+func (s *Server) Close() { s.pool.Close() }

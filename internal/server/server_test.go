@@ -1,0 +1,463 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tdd"
+)
+
+const evenUnit = "even(T+2) :- even(T).\neven(0).\n"
+
+const skiUnit = `
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+offseason(T+10) :- offseason(T).
+winter(T+10) :- winter(T).
+winter(0..3).
+offseason(4..9).
+resort(hunter).
+plane(0, hunter).
+`
+
+// newTestServer builds a Server (logging discarded) and an httptest
+// front end; both are torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func register(t *testing.T, base, unit string) string {
+	t.Helper()
+	resp, body := postJSON(t, base+"/programs", registerRequest{Unit: unit})
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	var reg registerResponse
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg.ID
+}
+
+func askServed(t *testing.T, base, id, query string) bool {
+	t.Helper()
+	resp, body := postJSON(t, base+"/programs/"+id+"/ask", askRequest{Query: query})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask %q: status %d: %s", query, resp.StatusCode, body)
+	}
+	var ar askResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	return ar.Result
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("body: %s", body)
+	}
+}
+
+func TestRegisterAskAnswersPeriod(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, evenUnit)
+
+	if !askServed(t, ts.URL, id, "even(1000000)") {
+		t.Error("even(1000000) should hold")
+	}
+	if askServed(t, ts.URL, id, "even(999999)") {
+		t.Error("even(999999) should not hold")
+	}
+
+	resp, body := postJSON(t, ts.URL+"/programs/"+id+"/answers", answersRequest{Query: "even(T)"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answers: status %d: %s", resp.StatusCode, body)
+	}
+	var ans answersResponse
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Count != 2 {
+		t.Errorf("answers count = %d, want 2 (T=0, T=2)", ans.Count)
+	}
+	if ans.Rewrite != "3 -> 1" {
+		t.Errorf("rewrite = %q, want %q", ans.Rewrite, "3 -> 1")
+	}
+	if ans.Engine != "spec" {
+		t.Errorf("engine = %q, want spec (cache fast path)", ans.Engine)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/programs/"+id+"/period")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("period: status %d", resp.StatusCode)
+	}
+	var p periodJSON
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 1 || p.P != 2 {
+		t.Errorf("period = (b=%d, p=%d), want (b=1, p=2)", p.Base, p.P)
+	}
+}
+
+func TestAnswersLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, skiUnit)
+	resp, body := postJSON(t, ts.URL+"/programs/"+id+"/answers", answersRequest{Query: "plane(T, hunter)", Limit: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ans answersResponse
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Count != 2 {
+		t.Errorf("count = %d, want limit 2", ans.Count)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/programs", registerRequest{Unit: evenUnit})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first register: status %d: %s", resp.StatusCode, body)
+	}
+	var first registerResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/programs", registerRequest{Unit: evenUnit})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second register: status %d: %s", resp.StatusCode, body)
+	}
+	var second registerResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Existing || second.ID != first.ID {
+		t.Errorf("re-registration: existing=%v id=%s, want existing=true id=%s",
+			second.Existing, second.ID, first.ID)
+	}
+	if got := len(s.Registry().IDs()); got != 1 {
+		t.Errorf("registry holds %d programs, want 1", got)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", `{}`},
+		{"both forms", `{"unit": "even(0).", "rules": "even(0)."}`},
+		{"invalid program", `{"unit": "p(T) :- p(T+1)."}`}, // non-forward rule
+		{"malformed json", `{`},
+		{"unknown field", `{"prog": "even(0)."}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/programs", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownProgram(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := postJSON(t, ts.URL+"/programs/deadbeef/ask", askRequest{Query: "even(0)"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("ask unknown id: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, ts.URL+"/programs/deadbeef/period")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("period unknown id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBadQuery(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, evenUnit)
+	resp, body := postJSON(t, ts.URL+"/programs/"+id+"/ask", askRequest{Query: "even(T)"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("open query via ask: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, ts.URL+"/programs/"+id+"/ask", askRequest{Query: "even(("})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("syntax error: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServedSpecRoundTrip downloads the exported specification and
+// answers queries from it locally — the offline-client workflow.
+func TestServedSpecRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, evenUnit)
+	resp, body := getJSON(t, ts.URL+"/programs/"+id+"/spec")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spec: status %d", resp.StatusCode)
+	}
+	sdb, err := tdd.ImportSpec(body)
+	if err != nil {
+		t.Fatalf("importing served spec: %v", err)
+	}
+	yes, err := sdb.Ask("even(123456)")
+	if err != nil || !yes {
+		t.Errorf("local ask over served spec = (%v, %v), want (true, nil)", yes, err)
+	}
+}
+
+// TestConcurrentQueries is the acceptance criterion: many parallel
+// requests against registered programs, each answer compared against a
+// direct tdd.DB evaluated in-process.
+func TestConcurrentQueries(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, Queue: 64})
+	evenID := register(t, ts.URL, evenUnit)
+	skiID := register(t, ts.URL, skiUnit)
+
+	evenDB, err := tdd.OpenUnit(evenUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skiDB, err := tdd.OpenUnit(skiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type probe struct {
+		id    string
+		query string
+		want  bool
+	}
+	var probes []probe
+	for i := 0; i < 30; i++ {
+		q := fmt.Sprintf("even(%d)", 999990+i)
+		want, err := evenDB.Ask(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, probe{evenID, q, want})
+	}
+	skiQueries := []string{
+		"plane(1000, hunter)",
+		"plane(1001, hunter)",
+		"exists T (plane(T, hunter) & winter(T))",
+		"forall X (!resort(X) | exists T plane(T, X))",
+	}
+	for i := 0; i < 30; i++ {
+		q := skiQueries[i%len(skiQueries)]
+		want, err := skiDB.Ask(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, probe{skiID, q, want})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(probes))
+	for _, p := range probes {
+		wg.Add(1)
+		go func(p probe) {
+			defer wg.Done()
+			got := askServed(t, ts.URL, p.id, p.query)
+			if got != p.want {
+				errs <- fmt.Errorf("served %s on %s = %v, direct = %v", p.query, p.id, got, p.want)
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCacheEviction runs a capacity-1 cache over two programs: every
+// alternation evicts and recompiles, queries stay correct throughout.
+func TestCacheEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: 1})
+	evenID := register(t, ts.URL, evenUnit)
+	skiID := register(t, ts.URL, skiUnit)
+
+	for i := 0; i < 3; i++ {
+		if !askServed(t, ts.URL, evenID, "even(1000000)") {
+			t.Fatal("even query wrong after eviction")
+		}
+		if !askServed(t, ts.URL, skiID, "plane(0, hunter)") {
+			t.Fatal("ski query wrong after eviction")
+		}
+	}
+	m := s.Metrics().Snapshot()
+	if m.CacheEvict < 2 {
+		t.Errorf("cache evictions = %d, want >= 2 with capacity 1 and two programs", m.CacheEvict)
+	}
+	if m.CacheMisses < 3 {
+		t.Errorf("cache misses = %d, want >= 3", m.CacheMisses)
+	}
+	if got := s.Registry().CachedLen(); got > 1 {
+		t.Errorf("cache holds %d entries, capacity 1", got)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, evenUnit)
+	askServed(t, ts.URL, id, "even(4)")
+	askServed(t, ts.URL, id, "even(6)")
+
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	var m MetricsSnapshot
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests < 3 {
+		t.Errorf("requests = %d, want >= 3", m.Requests)
+	}
+	if m.CacheHits < 2 {
+		t.Errorf("cache hits = %d, want >= 2 (warm asks)", m.CacheHits)
+	}
+	ask, ok := m.Routes["ask"]
+	if !ok {
+		t.Fatal("no ask route metrics")
+	}
+	if ask.Requests != 2 || ask.Latency.Count != 2 {
+		t.Errorf("ask route: requests=%d latency.count=%d, want 2/2", ask.Requests, ask.Latency.Count)
+	}
+}
+
+// TestRequestTimeout forces an immediate deadline: requests must come
+// back promptly as 503 with the timeout counter bumped, not hang.
+func TestRequestTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	resp, body := postJSON(t, ts.URL+"/programs", registerRequest{Unit: evenUnit})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if got := s.Metrics().Timeouts.Load(); got < 1 {
+		t.Errorf("timeouts counter = %d, want >= 1", got)
+	}
+}
+
+// TestShutdownRejects checks that a closed pool turns requests into 503
+// rather than panics or hangs.
+func TestShutdownRejects(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	resp, _ := postJSON(t, ts.URL+"/programs", registerRequest{Unit: evenUnit})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503 after close", resp.StatusCode)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(2, 2)
+	defer p.Close()
+	var mu sync.Mutex
+	n := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(t.Context(), func() {
+				mu.Lock()
+				n++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 20 {
+		t.Errorf("ran %d tasks, want 20", n)
+	}
+}
+
+func TestLRU(t *testing.T) {
+	var evicted []string
+	c := newLRU[int](2, func(k string, _ int) { evicted = append(evicted, k) })
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", 3) // evicts b (a was just used)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Errorf("evicted %v, want [b]", evicted)
+	}
+	c.remove("a")
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}

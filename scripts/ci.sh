@@ -1,0 +1,22 @@
+#!/bin/sh
+# ci.sh — the full verify gate for this repo. Every PR should pass this
+# locally; the tier-1 subset (build + test) is the hard floor, vet and
+# the race detector guard the concurrent serving paths (internal/server,
+# the tdd facade locking).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "ci: all checks passed"

@@ -1,0 +1,164 @@
+package tdd_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tdd"
+)
+
+const concurrentSkiUnit = `
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+offseason(T+10) :- offseason(T).
+winter(T+10) :- winter(T).
+winter(0..3).
+offseason(4..9).
+resort(hunter).
+plane(0, hunter).
+`
+
+// TestDBConcurrentReaders hammers one shared *tdd.DB from many
+// goroutines — including the very first query, which certifies the
+// period and grows the evaluation window under the facade's lock. Run
+// under -race this is the regression test for that locking.
+func TestDBConcurrentReaders(t *testing.T) {
+	db, err := tdd.OpenUnit(concurrentSkiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth from a private, sequentially-used copy.
+	seq, err := tdd.OpenUnit(concurrentSkiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeep, err := seq.Ask("plane(1000000, hunter)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAns, err := seq.Answers("plane(T, hunter)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPeriod, err := seq.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const iters = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					got, err := db.Ask("plane(1000000, hunter)")
+					if err != nil {
+						errs <- err
+					} else if got != wantDeep {
+						errs <- fmt.Errorf("Ask deep = %v, want %v", got, wantDeep)
+					}
+				case 1:
+					got, err := db.Answers("plane(T, hunter)")
+					if err != nil {
+						errs <- err
+					} else if len(got) != len(wantAns) {
+						errs <- fmt.Errorf("Answers len = %d, want %d", len(got), len(wantAns))
+					}
+				case 2:
+					got, err := db.Period()
+					if err != nil {
+						errs <- err
+					} else if got != wantPeriod {
+						errs <- fmt.Errorf("Period = %v, want %v", got, wantPeriod)
+					}
+				case 3:
+					got, err := db.HoldsAt("plane", 0, "hunter")
+					if err != nil {
+						errs <- err
+					} else if !got {
+						errs <- fmt.Errorf("HoldsAt(plane, 0, hunter) = false")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSpecDBConcurrentReaders does the same against one shared
+// *tdd.SpecDB: immutable after ImportSpec, so every mix of readers must
+// agree with sequential evaluation.
+func TestSpecDBConcurrentReaders(t *testing.T) {
+	db, err := tdd.OpenUnit(concurrentSkiUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := db.ExportSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := tdd.ImportSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeep, err := db.Ask("plane(1000000, hunter)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAns, err := db.Answers("plane(T, hunter)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const iters = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					got, err := sdb.Ask("plane(1000000, hunter)")
+					if err != nil {
+						errs <- err
+					} else if got != wantDeep {
+						errs <- fmt.Errorf("SpecDB.Ask = %v, want %v", got, wantDeep)
+					}
+				case 1:
+					got, err := sdb.Answers("plane(T, hunter)")
+					if err != nil {
+						errs <- err
+					} else if len(got) != len(wantAns) {
+						errs <- fmt.Errorf("SpecDB.Answers len = %d, want %d", len(got), len(wantAns))
+					}
+				case 2:
+					got, err := sdb.HoldsAt("plane", 0, "hunter")
+					if err != nil {
+						errs <- err
+					} else if !got {
+						errs <- fmt.Errorf("SpecDB.HoldsAt(plane, 0, hunter) = false")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
