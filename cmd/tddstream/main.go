@@ -1,0 +1,117 @@
+// Command tddstream tails a fact stream on stdin and answers queries
+// continuously against the live model. The rule set (and any initial
+// facts) load once from a unit file; every subsequent fact line is
+// folded into the certified model incrementally — semi-naive delta
+// propagation plus re-certification — instead of a from-scratch
+// recomputation.
+//
+// Usage:
+//
+//	tddstream file.tdd < stream
+//
+// Stream lines:
+//
+//	edge(n3, n4).              assert facts (any fact-source syntax,
+//	                           including intervals like up(3..7).)
+//	? plane(10, hunter)        evaluate a query once, now
+//	?? paged(1000000, E)       watch: re-evaluate after every batch
+//	:period :stats :quit       commands
+//
+// Blank lines and % comments pass through unanswered, so a stream file
+// can document itself.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tdd"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tddstream file.tdd < stream")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tddstream:", err)
+		os.Exit(1)
+	}
+	db, err := tdd.OpenUnit(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tddstream:", err)
+		os.Exit(1)
+	}
+	if err := tail(db, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tddstream:", err)
+		os.Exit(1)
+	}
+}
+
+func tail(db *tdd.DB, in io.Reader, out io.Writer) error {
+	scanner := bufio.NewScanner(in)
+	var watches []string
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "%"):
+		case line == ":quit" || line == ":q":
+			return nil
+		case line == ":period":
+			p, err := db.Period()
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "period %v\n", p)
+		case line == ":stats":
+			derived, firings, sweeps := db.EngineStats()
+			fmt.Fprintf(out, "derived=%d firings=%d sweeps=%d\n", derived, firings, sweeps)
+		case strings.HasPrefix(line, "??"):
+			q := strings.TrimSpace(strings.TrimPrefix(line, "??"))
+			if q == "" {
+				fmt.Fprintln(out, "usage: ?? query")
+				break
+			}
+			watches = append(watches, q)
+			answer(db, out, q)
+		case strings.HasPrefix(line, "?"):
+			answer(db, out, strings.TrimSpace(strings.TrimPrefix(line, "?")))
+		case strings.HasPrefix(line, ":"):
+			fmt.Fprintf(out, "unknown command %s\n", line)
+		default:
+			res, err := db.Assert(line)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			p, err := db.Period()
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "+%d new, %d dup, %d derived, period %v\n",
+				res.NewFacts, res.Duplicates, res.Derived, p)
+			for _, q := range watches {
+				answer(db, out, q)
+			}
+		}
+	}
+	return scanner.Err()
+}
+
+func answer(db *tdd.DB, out io.Writer, q string) {
+	ans, err := db.Answers(q)
+	switch {
+	case err != nil:
+		fmt.Fprintln(out, "error:", err)
+	case len(ans) == 0:
+		fmt.Fprintf(out, "?- %s\nno\n", q)
+	default:
+		fmt.Fprintf(out, "?- %s\n%s", q, tdd.FormatAnswers(ans))
+	}
+}

@@ -1,10 +1,14 @@
 // Operations monitoring: a domain-flavored TDD beyond the paper's own
-// examples. Weekly health checks follow a rotating calendar (time-only
-// rules, multi-separable); an alert, once raised, latches until handled
-// by the weekly review (the latch is the inflationary copy-rule pattern);
-// paging is a non-recursive join. The whole rule set stays multi-separable,
-// so the on-call schedule for any day — years out — is answerable in
-// constant time after the one-time specification.
+// examples, driven through the streaming Assert API. The rule set and
+// the static roster load once; live observations — a fragility finding,
+// an on-call roster change — stream in afterwards and are folded into
+// the certified model by semi-naive delta propagation rather than a
+// from-scratch recomputation. Weekly health checks follow a rotating
+// calendar (time-only rules, multi-separable); an alert, once raised,
+// latches until handled (the inflationary copy-rule pattern); paging is
+// a non-recursive join. The whole rule set stays multi-separable, so
+// the on-call schedule for any day — years out — is answerable in
+// constant time after each (re-)certification.
 package main
 
 import (
@@ -35,9 +39,7 @@ func main() {
 		service(api).     check(0, api).
 		service(ingest).  check(3, ingest).
 		service(billing). check(5, billing).
-		fragile(ingest).
 		oncall(alice, api).
-		oncall(bob, ingest).
 		oncall(carol, billing).
 		oncall(alice, ingest).   % alice backs up ingest
 	`)
@@ -54,6 +56,22 @@ func main() {
 	}
 	fmt.Printf("period: %v\n\n", p)
 
+	// Nothing is fragile yet, so nothing ever alerts.
+	yes, err := db.HoldsAt("alert", 1_000_000, "ingest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before the finding, alert(1000000, ingest)? %v\n\n", yes)
+
+	// A fragility finding streams in. The assertion re-fires only the
+	// rules a new fragile fact can feed and re-certifies the period.
+	res, err := db.Assert("fragile(ingest).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assert fragile(ingest): %d new fact, %d derived, recertified: %v\n\n",
+		res.NewFacts, res.Derived, res.Recertified)
+
 	// ingest is checked on day 3, alerts, and the alert latches forever.
 	for _, day := range []int{0, 2, 3, 10, 1_000_000} {
 		yes, err := db.HoldsAt("alert", day, "ingest")
@@ -61,6 +79,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("alert(%7d, ingest)? %v\n", day, yes)
+	}
+
+	// A roster update streams in: bob joins the ingest rotation.
+	if _, err := db.AssertFact("oncall", "bob", "ingest"); err != nil {
+		log.Fatal(err)
 	}
 
 	// Who is paged on day one million?
@@ -75,7 +98,7 @@ func main() {
 
 	// Is there anyone who is never paged?
 	q := "exists E (oncall(E, api) & !exists T paged(T, E))"
-	yes, err := db.Ask(q)
+	yes, err = db.Ask(q)
 	if err != nil {
 		log.Fatal(err)
 	}

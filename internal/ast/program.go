@@ -168,6 +168,20 @@ func NewDatabase(facts []Fact) (*Database, error) {
 	return d, nil
 }
 
+// Clone returns a copy of the database whose fact list and signature map
+// can grow independently of the original. Facts themselves are shared:
+// they are immutable once built.
+func (d *Database) Clone() *Database {
+	c := &Database{
+		Facts: append(make([]Fact, 0, len(d.Facts)), d.Facts...),
+		Preds: make(map[string]PredInfo, len(d.Preds)),
+	}
+	for k, v := range d.Preds {
+		c.Preds[k] = v
+	}
+	return c
+}
+
 // MaxDepth returns c, the maximum depth of a temporal term in the database
 // (0 for a database with no temporal facts). The paper measures database
 // size as max(n, c) with temporal terms encoded in unary.

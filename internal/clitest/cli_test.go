@@ -215,6 +215,45 @@ bad query(
 	}
 }
 
+func TestStreamSession(t *testing.T) {
+	// Rebuild including tddstream (not in the shared build set).
+	bin := filepath.Join(t.TempDir(), "tddstream")
+	if out, err := exec.Command("go", "build", "-o", bin, "tdd/cmd/tddstream").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	file := writeFile(t, "ski.tdd", skiUnit)
+	cmd := exec.Command(bin, file)
+	cmd.Stdin = strings.NewReader(`
+% whistler is not in the database yet.
+? exists T plane(T, whistler)
+?? plane(1000002, W)
+resort(whistler).
+plane(0, whistler).
+:period
+:stats
+plane(whoops
+:quit
+`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"?- exists T plane(T, whistler)\nno", // before the stream lands
+		"+1 new, 0 dup",                      // each asserted fact reported
+		"W=whistler",                         // watch query re-fired after a batch
+		"W=hunter",
+		"period (b=",
+		"derived=",
+		"error:", // malformed fact line is reported, not fatal
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in session:\n%s", want, s)
+		}
+	}
+}
+
 func TestExamplesEndToEnd(t *testing.T) {
 	cases := []struct {
 		dir   string

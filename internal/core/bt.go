@@ -21,6 +21,7 @@ import (
 
 	"tdd/internal/ast"
 	"tdd/internal/engine"
+	"tdd/internal/inc"
 	"tdd/internal/period"
 	"tdd/internal/query"
 	"tdd/internal/spec"
@@ -169,6 +170,62 @@ func (b *BT) Answers(q ast.Query) ([]query.Answer, error) {
 		return nil, err
 	}
 	return query.Answers(s, q)
+}
+
+// Assert returns a new BT extended with the fact batch; the receiver is
+// unchanged and remains fully usable — the copy-on-write discipline that
+// lets any number of readers keep querying the old processor while a
+// writer prepares its successor. The new processor's evaluator is a
+// copy-on-write clone (shared immutable tuples, copied indexes).
+//
+// If the receiver has already certified its specification, the batch is
+// propagated semi-naively through the evaluated window and the period is
+// re-certified incrementally (inc.Apply); the new BT starts out warm.
+// Otherwise the facts are merely recorded and the first query pays the
+// usual cold certification.
+func (b *BT) Assert(facts []ast.Fact) (*BT, inc.Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e2 := b.eval.Clone()
+	nb := &BT{eval: e2, maxWindow: b.maxWindow, preds: make(map[string]ast.PredInfo, len(b.preds))}
+	for k, v := range b.preds {
+		nb.preds[k] = v
+	}
+	var res inc.Result
+	if b.spec == nil {
+		for _, f := range facts {
+			ok, err := e2.InsertBase(f)
+			if err != nil {
+				return nil, res, err
+			}
+			if ok {
+				res.NewBase++
+			} else {
+				res.Duplicates++
+			}
+		}
+	} else {
+		s, r, err := inc.Apply(e2, b.spec, b.maxWindow, facts)
+		res = r
+		if err != nil {
+			return nil, res, err
+		}
+		nb.spec = s
+	}
+	// InsertBase admits new predicates; refresh the signature map queries
+	// are typed against.
+	for k, v := range e2.Database().Preds {
+		nb.preds[k] = v
+	}
+	return nb, res, nil
+}
+
+// EngineStats returns the engine's work counters (derived facts, rule
+// firings, window sweeps) accumulated so far.
+func (b *BT) EngineStats() engine.Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.eval.Stats()
 }
 
 // WorkSummary describes the polynomial-cost certificate of a processed

@@ -1,0 +1,230 @@
+package engine
+
+// Incremental (semi-naive) maintenance of an evaluated window. The
+// classic delta argument carries over to the time-stratified setting:
+// every fact newly derivable after a base insertion has a derivation tree
+// containing at least one new fact in some rule body, so it is reached by
+// re-firing only the rules with a body literal pinned to a new fact —
+// never by re-running the full fixpoint. Facts whose head time falls
+// beyond the evaluated window are not materialized; EnsureWindow
+// recomputes extension states from scratch, so nothing is lost when the
+// window later grows.
+
+import (
+	"fmt"
+
+	"tdd/internal/ast"
+)
+
+// occurrence locates one body literal: rule index and literal index.
+type occurrence struct {
+	rule int
+	lit  int
+}
+
+// ensureOcc builds the body-predicate index used to find the rules a
+// delta fact can re-fire.
+func (e *Evaluator) ensureOcc() {
+	if e.occ != nil {
+		return
+	}
+	e.occ = make(map[string][]occurrence)
+	for ri := range e.rules {
+		for li, a := range e.rules[ri].body {
+			e.occ[a.Pred] = append(e.occ[a.Pred], occurrence{rule: ri, lit: li})
+		}
+	}
+}
+
+// ensureBaseSet builds the database-membership set used to deduplicate
+// base inserts against the database (a fact already *derived* must still
+// be recorded as a database fact, or the database's temporal depth — and
+// with it the period certificate — would diverge from a from-scratch
+// evaluation of the union).
+func (e *Evaluator) ensureBaseSet() {
+	if e.baseSet != nil {
+		return
+	}
+	e.baseSet = make(map[string]bool, len(e.db.Facts))
+	for _, f := range e.db.Facts {
+		e.baseSet[factKey(f)] = true
+	}
+}
+
+// Clone returns an independent evaluator over the same program: a
+// snapshot of the database, store, window, and counters. The program and
+// compiled rules are immutable after New and are shared. Writes to the
+// clone (InsertBase, PropagateDelta, EnsureWindow) are invisible to the
+// original, which makes Clone the basis of the copy-on-write snapshot
+// discipline used by incremental ingestion.
+func (e *Evaluator) Clone() *Evaluator {
+	c := &Evaluator{
+		prog:      e.prog,
+		db:        e.db.Clone(),
+		store:     e.store.Clone(),
+		rules:     e.rules,
+		evaluated: e.evaluated,
+		stats:     e.stats,
+		occ:       e.occ, // immutable once built
+	}
+	if e.prov != nil {
+		c.prov = make(map[string]*Derivation, len(e.prov))
+		for k, v := range e.prov {
+			c.prov[k] = v
+		}
+	}
+	return c
+}
+
+// InsertBase adds one ground fact to the database and the store. It
+// reports whether the fact was new *to the database* — a fact already
+// derived by some rule is still recorded as a database fact, exactly as
+// if it had been present in a from-scratch evaluation of the union.
+// Signatures are checked against both the program's and the database's;
+// new predicates are admitted and recorded.
+func (e *Evaluator) InsertBase(f ast.Fact) (bool, error) {
+	if f.Temporal && f.Time < 0 {
+		return false, fmt.Errorf("engine: fact %s has a negative time point", f)
+	}
+	info := ast.PredInfo{Name: f.Pred, Temporal: f.Temporal, Arity: len(f.Args)}
+	if prev, ok := e.prog.Preds[f.Pred]; ok && prev != info {
+		return false, fmt.Errorf("engine: fact %s conflicts with program signature %v", f, prev)
+	}
+	if prev, ok := e.db.Preds[f.Pred]; ok && prev != info {
+		return false, fmt.Errorf("engine: fact %s conflicts with database signature %v", f, prev)
+	}
+	e.ensureBaseSet()
+	k := factKey(f)
+	if e.baseSet[k] {
+		return false, nil
+	}
+	e.baseSet[k] = true
+	e.db.Facts = append(e.db.Facts, f)
+	e.db.Preds[f.Pred] = info
+	e.store.Insert(f)
+	return true, nil
+}
+
+// PropagateDelta closes the already-evaluated window 0..Window() over the
+// consequences of the seed facts (base facts just inserted): semi-naive
+// evaluation re-firing only rules with at least one body literal pinned
+// to a delta fact. It returns the number of facts derived. A no-op
+// before the first evaluation (the first EnsureWindow computes everything
+// anyway) and for seeds beyond the window (the window extension
+// recomputes those states from scratch).
+func (e *Evaluator) PropagateDelta(seed []ast.Fact) int {
+	m := e.evaluated
+	if m < 0 || len(seed) == 0 {
+		return 0
+	}
+	e.ensureOcc()
+	total := 0
+	delta := seed
+	for len(delta) > 0 {
+		var next []ast.Fact
+		for _, f := range delta {
+			for _, oc := range e.occ[f.Pred] {
+				r := &e.rules[oc.rule]
+				lit := r.body[oc.lit]
+				if f.Temporal != (lit.Time != nil) {
+					continue
+				}
+				if f.Temporal {
+					// The pinned literal determines the rule's temporal
+					// binding: T + depth = f.Time.
+					T := f.Time - lit.Time.Depth
+					if T < 0 || !e.inRange(r, T, m) {
+						continue
+					}
+					e.fireDelta(r, oc.lit, f, T, m, &next)
+					continue
+				}
+				// A non-temporal delta fact constrains no time point; fire
+				// at every binding the full evaluation would consider.
+				if r.timeVar == "" {
+					e.fireDelta(r, oc.lit, f, 0, m, &next)
+					continue
+				}
+				for T := 0; e.inRange(r, T, m); T++ {
+					e.fireDelta(r, oc.lit, f, T, m, &next)
+				}
+			}
+		}
+		total += len(next)
+		delta = next
+	}
+	return total
+}
+
+// inRange mirrors the temporal ranges of the full evaluation: temporal
+// heads are materialized for head times within the window (evalState),
+// non-temporal heads for bindings whose deepest body literal lies within
+// the window (evalNonTemporalRules).
+func (e *Evaluator) inRange(r *crule, T, m int) bool {
+	if T < 0 {
+		return false
+	}
+	if r.headDepth >= 0 {
+		return T+r.headDepth <= m
+	}
+	return T+r.maxBodyDepth <= m
+}
+
+// fireDelta fires rule r with body literal pin bound to the delta fact f
+// and the temporal variable bound to T, joining the remaining literals
+// against the full store. New head facts are appended to out.
+func (e *Evaluator) fireDelta(r *crule, pin int, f ast.Fact, T, m int, out *[]ast.Fact) {
+	en := env{time: T, vals: make(map[string]string, 8)}
+	if !e.matchArgs(r.body[pin].Args, f.Args, &en) {
+		return
+	}
+	e.deltaJoin(r, 0, pin, &en, m, out)
+}
+
+// deltaJoin is join with literal pin already bound and head times capped
+// at m (facts beyond the window are left to EnsureWindow).
+func (e *Evaluator) deltaJoin(r *crule, i, pin int, en *env, m int, out *[]ast.Fact) {
+	if i == pin {
+		e.deltaJoin(r, i+1, pin, en, m, out)
+		return
+	}
+	if i >= len(r.body) {
+		if r.head.Time != nil && en.time+r.head.Time.Depth > m {
+			return
+		}
+		if f, ok := e.emit(r, en); ok {
+			*out = append(*out, f)
+		}
+		return
+	}
+	a := r.body[i]
+	var rs *relset
+	if a.Time != nil {
+		rs = e.store.at(a.Pred, en.time+a.Time.Depth)
+	} else {
+		rs = e.store.nt(a.Pred)
+	}
+	if rs == nil {
+		return
+	}
+	visit := func(tup []string) bool {
+		mark := len(en.trail)
+		if e.matchArgs(a.Args, tup, en) {
+			e.deltaJoin(r, i+1, pin, en, m, out)
+		}
+		en.undo(mark)
+		return true
+	}
+	if len(a.Args) > 0 {
+		first := a.Args[0]
+		if !first.IsVar {
+			rs.withFirst(first.Name, visit)
+			return
+		}
+		if v, ok := en.vals[first.Name]; ok {
+			rs.withFirst(v, visit)
+			return
+		}
+	}
+	rs.all(visit)
+}

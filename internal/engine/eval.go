@@ -42,6 +42,13 @@ type Evaluator struct {
 	// prov, when non-nil, records the first derivation of every derived
 	// fact (see provenance.go).
 	prov map[string]*Derivation
+	// occ indexes rules by body predicate for semi-naive delta
+	// propagation; built lazily by the first PropagateDelta (delta.go).
+	occ map[string][]occurrence
+	// baseSet is the set of database facts (by factKey), built lazily by
+	// the first InsertBase so duplicate base asserts are detected against
+	// the database rather than the derived store (delta.go).
+	baseSet map[string]bool
 }
 
 // New compiles and validates a program/database pair. The program must be
@@ -214,18 +221,8 @@ func (e *Evaluator) fireRule(r *crule, T int) int {
 // emits the head.
 func (e *Evaluator) join(r *crule, i int, en *env, added *int) {
 	if i == len(r.body) {
-		e.stats.Firings++
-		f := e.instantiate(r.head, en)
-		if e.store.Insert(f) {
-			e.stats.Derived++
+		if _, ok := e.emit(r, en); ok {
 			*added++
-			if e.prov != nil {
-				body := make([]ast.Fact, len(r.body))
-				for j, a := range r.body {
-					body[j] = e.instantiate(a, en)
-				}
-				e.prov[factKey(f)] = &Derivation{Rule: r.src, Time: en.time, Body: body}
-			}
 		}
 		return
 	}
@@ -261,6 +258,26 @@ func (e *Evaluator) join(r *crule, i int, en *env, added *int) {
 		}
 	}
 	rs.all(visit)
+}
+
+// emit fires rule r under the complete binding en: it instantiates the
+// head and inserts it, maintaining the work counters and (when enabled)
+// provenance. It reports the head fact and whether it was new.
+func (e *Evaluator) emit(r *crule, en *env) (ast.Fact, bool) {
+	e.stats.Firings++
+	f := e.instantiate(r.head, en)
+	if !e.store.Insert(f) {
+		return f, false
+	}
+	e.stats.Derived++
+	if e.prov != nil {
+		body := make([]ast.Fact, len(r.body))
+		for j, a := range r.body {
+			body[j] = e.instantiate(a, en)
+		}
+		e.prov[factKey(f)] = &Derivation{Rule: r.src, Time: en.time, Body: body}
+	}
+	return f, true
 }
 
 // matchArgs unifies the pattern against the tuple, extending en (recording

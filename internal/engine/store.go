@@ -91,12 +91,33 @@ func (r *relset) withFirst(v string, f func([]string) bool) {
 	}
 }
 
+// clone copies the relset's index structure. Tuples are immutable after
+// insert, so they are shared between the clone and the original.
+func (r *relset) clone() *relset {
+	c := &relset{m: make(map[string][]string, len(r.m))}
+	for k, v := range r.m {
+		c.m[k] = v
+	}
+	if r.byFirst != nil {
+		c.byFirst = make(map[string][][]string, len(r.byFirst))
+		for k, v := range r.byFirst {
+			c.byFirst[k] = append(make([][]string, 0, len(v)), v...)
+		}
+	}
+	return c
+}
+
 // Store holds the facts derived so far: temporal relations indexed by
 // predicate and time point, and non-temporal relations by predicate.
 type Store struct {
 	temporal    map[string]map[int]*relset
 	nonTemporal map[string]*relset
 	count       int
+	// keys caches StateKey per time point; an insert at time t drops the
+	// entry for t. Incremental maintenance re-certifies the period after a
+	// delta, and the cache confines the rehash to the states the delta
+	// actually touched.
+	keys map[int]string
 }
 
 // NewStore returns an empty store.
@@ -105,6 +126,35 @@ func NewStore() *Store {
 		temporal:    make(map[string]map[int]*relset),
 		nonTemporal: make(map[string]*relset),
 	}
+}
+
+// Clone returns an independent copy of the store: inserts into the clone
+// are invisible to the original and vice versa. Tuples are shared (they
+// are immutable after insert), so a clone costs one index copy, not a
+// deep copy of the data.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		temporal:    make(map[string]map[int]*relset, len(s.temporal)),
+		nonTemporal: make(map[string]*relset, len(s.nonTemporal)),
+		count:       s.count,
+	}
+	for pred, byTime := range s.temporal {
+		bt := make(map[int]*relset, len(byTime))
+		for t, rs := range byTime {
+			bt[t] = rs.clone()
+		}
+		c.temporal[pred] = bt
+	}
+	for pred, rs := range s.nonTemporal {
+		c.nonTemporal[pred] = rs.clone()
+	}
+	if s.keys != nil {
+		c.keys = make(map[int]string, len(s.keys))
+		for t, k := range s.keys {
+			c.keys[t] = k
+		}
+	}
+	return c
 }
 
 // Insert adds a fact, reporting whether it was new.
@@ -122,6 +172,9 @@ func (s *Store) Insert(f ast.Fact) bool {
 			byTime[f.Time] = rs
 		}
 		added = rs.insert(f.Args)
+		if added {
+			delete(s.keys, f.Time)
+		}
 	} else {
 		rs, ok := s.nonTemporal[f.Pred]
 		if !ok {
@@ -164,8 +217,21 @@ func (s *Store) StateSize(t int) int {
 
 // StateKey returns a canonical representation of the state L[t]: the set of
 // atoms P(x̄) with P(t, x̄) in the store, rendered deterministically. Two
-// time points have equal states iff their StateKeys are equal.
+// time points have equal states iff their StateKeys are equal. Keys are
+// cached per time point; inserts at t invalidate the entry for t.
 func (s *Store) StateKey(t int) string {
+	if k, ok := s.keys[t]; ok {
+		return k
+	}
+	k := s.stateKey(t)
+	if s.keys == nil {
+		s.keys = make(map[int]string)
+	}
+	s.keys[t] = k
+	return k
+}
+
+func (s *Store) stateKey(t int) string {
 	var lines []string
 	for pred, byTime := range s.temporal {
 		rs := byTime[t]

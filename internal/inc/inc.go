@@ -1,0 +1,89 @@
+// Package inc maintains an evaluated temporal deductive database — and its
+// certified periodic specification — under incremental fact insertion.
+//
+// The from-scratch pipeline (engine evaluation, period certification,
+// relational specification) is deterministic in the program and the
+// database. Incremental maintenance exploits that: a batch of new base
+// facts is inserted into the existing evaluator, its consequences are
+// propagated semi-naively through the already-evaluated window (only rules
+// with a body literal pinned to a delta fact re-fire), and the period is
+// then re-certified over the patched window. Because the patched window is
+// fact-for-fact identical to a from-scratch evaluation of the fact union —
+// the semi-naive completeness argument — re-certification returns exactly
+// the specification a cold start would, while touching only the states the
+// delta changed (state keys are cached per time point and invalidated by
+// insertion).
+package inc
+
+import (
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+	"tdd/internal/period"
+	"tdd/internal/spec"
+)
+
+// Result describes one incremental maintenance step.
+type Result struct {
+	// NewBase counts batch facts that were new to the database.
+	NewBase int
+	// Duplicates counts batch facts already present in the database.
+	Duplicates int
+	// Derived counts consequences materialized by delta propagation
+	// (within the evaluated window; deeper consequences are produced by
+	// the window growth that re-certification may perform).
+	Derived int
+	// Recertified reports whether a specification was (re)computed.
+	Recertified bool
+	// SpecChanged reports whether the certified period differs from the
+	// previous specification's (always true when there was none).
+	SpecChanged bool
+	// Period is the period certified by the returned specification.
+	Period period.Period
+}
+
+// Apply inserts the batch into e, propagates its consequences through the
+// evaluated window, and re-certifies the periodic specification. old is
+// the previous specification over e, or nil if none was computed yet; it
+// is returned unchanged when the batch contains nothing new. maxWindow
+// bounds the re-certification window (see period.Detect).
+//
+// Apply mutates e. On error (a signature-invalid fact, or a period not
+// certifiable within maxWindow) e may hold a partially applied batch;
+// callers that need atomicity apply to an engine.Evaluator clone and swap
+// it in on success — the copy-on-write discipline used by tdd.DB and the
+// server registry.
+func Apply(e *engine.Evaluator, old *spec.Spec, maxWindow int, facts []ast.Fact) (*spec.Spec, Result, error) {
+	var res Result
+	seed := make([]ast.Fact, 0, len(facts))
+	for _, f := range facts {
+		ok, err := e.InsertBase(f)
+		if err != nil {
+			return nil, res, err
+		}
+		if ok {
+			seed = append(seed, f)
+			res.NewBase++
+		} else {
+			res.Duplicates++
+		}
+	}
+	if len(seed) == 0 && old != nil {
+		res.Period = old.Period
+		return old, res, nil
+	}
+	res.Derived = e.PropagateDelta(seed)
+
+	// Re-certification runs the full deterministic pipeline, so the result
+	// is exactly the minimal specification of the fact union — a changed
+	// state below the old base can shrink the minimal period as well as
+	// grow it, which is why no shortcut reuses the old certificate. The
+	// per-state key cache confines the rehash to states the delta touched.
+	s, err := spec.Compute(e, maxWindow)
+	if err != nil {
+		return nil, res, err
+	}
+	res.Recertified = true
+	res.SpecChanged = old == nil || old.Period != s.Period
+	res.Period = s.Period
+	return s, res, nil
+}

@@ -192,6 +192,13 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
+// maxIntervalPoints bounds interval-fact expansion per unit, cumulative
+// across all interval facts. Each point becomes a database fact, so
+// unbounded intervals would let a few characters of source
+// (`p(0..999999999).`) allocate gigabytes; a million points is far
+// beyond any legitimate unit file.
+const maxIntervalPoints = 1 << 20
+
 // resolveUnit runs sort inference and splits a raw unit into a program and
 // a database.
 func resolveUnit(u *rawUnit) (*ast.Program, *ast.Database, error) {
@@ -204,12 +211,17 @@ func resolveUnit(u *rawUnit) (*ast.Program, *ast.Database, error) {
 	}
 	var rules []ast.Rule
 	var facts []ast.Fact
+	points := 0
 	for ci, c := range u.clauses {
 		// Interval facts like winter(0..90). expand to one fact per day
 		// (the paper's footnote 1: "we could provide an abbreviation for
 		// intervals").
 		if c.fact() && len(c.head.args) > 0 && c.head.args[0].kind == rawRange && s.temporal[c.head.pred] {
 			r := c.head.args[0]
+			points += r.hi - r.num + 1
+			if points > maxIntervalPoints {
+				return nil, nil, errAt(r.line, r.col, "interval %d..%d expands the unit past %d points", r.num, r.hi, maxIntervalPoints)
+			}
 			for day := r.num; day <= r.hi; day++ {
 				expanded := c.head
 				expanded.args = append([]rawTerm(nil), c.head.args...)

@@ -29,10 +29,33 @@ type periodJSON struct {
 
 type registerResponse struct {
 	ID              string     `json:"id"`
+	Rev             string     `json:"rev"`
 	Existing        bool       `json:"existing"`
 	Period          periodJSON `json:"period"`
 	Representatives int        `json:"representatives"`
 	Facts           int        `json:"facts"`
+}
+
+type factsRequest struct {
+	// Facts is a fact source in the same syntax as registration fact
+	// sources, including interval facts.
+	Facts string `json:"facts"`
+}
+
+type factsResponse struct {
+	ID string `json:"id"`
+	// Rev is the program's new content revision; it advances with every
+	// ingested batch while the id stays the stable handle.
+	Rev             string     `json:"rev"`
+	NewFacts        int        `json:"new_facts"`
+	Duplicates      int        `json:"duplicates"`
+	Derived         int        `json:"derived"`
+	Recertified     bool       `json:"recertified"`
+	PeriodChanged   bool       `json:"period_changed"`
+	Period          periodJSON `json:"period"`
+	Representatives int        `json:"representatives"`
+	Facts           int        `json:"facts"`
+	ElapsedUs       int64      `json:"elapsed_us"`
 }
 
 type askRequest struct {
@@ -160,6 +183,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, status, registerResponse{
 		ID:              ent.src.id,
+		Rev:             ent.src.rev,
 		Existing:        existing,
 		Period:          periodJSON{Base: ent.period.Base, P: ent.period.P},
 		Representatives: ent.reps,
@@ -170,6 +194,53 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 // GET /programs
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, listResponse{Programs: s.reg.IDs()})
+}
+
+// POST /programs/{id}/facts — incremental fact ingestion. The batch is
+// asserted into a fork of the program's database, propagated semi-naively
+// through the evaluated model, re-certified, and published atomically;
+// concurrent queries see the program either entirely before or entirely
+// after the batch. Writers on one program are serialized.
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	var req factsRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Facts == "" {
+		s.writeError(w, errors.New(`need "facts"`))
+		return
+	}
+	var (
+		ent *entry
+		res tdd.AssertResult
+		err error
+	)
+	id := r.PathValue("id")
+	start := time.Now()
+	if derr := s.dispatch(r, func() {
+		ent, res, err = s.reg.Ingest(id, req.Facts)
+	}); derr != nil {
+		s.writeError(w, derr)
+		return
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, factsResponse{
+		ID:              ent.src.id,
+		Rev:             ent.src.rev,
+		NewFacts:        res.NewFacts,
+		Duplicates:      res.Duplicates,
+		Derived:         res.Derived,
+		Recertified:     res.Recertified,
+		PeriodChanged:   res.PeriodChanged,
+		Period:          periodJSON{Base: ent.period.Base, P: ent.period.P},
+		Representatives: ent.reps,
+		Facts:           ent.facts,
+		ElapsedUs:       time.Since(start).Microseconds(),
+	})
 }
 
 // POST /programs/{id}/ask
@@ -304,5 +375,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // GET /metrics
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	snap.Programs = s.reg.WarmStats()
+	writeJSON(w, http.StatusOK, snap)
 }

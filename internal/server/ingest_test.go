@@ -1,0 +1,204 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ingest posts one fact batch and decodes the response.
+func ingest(t *testing.T, base, id, facts string) factsResponse {
+	t.Helper()
+	resp, body := postJSON(t, base+"/programs/"+id+"/facts", factsRequest{Facts: facts})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("facts: status %d: %s", resp.StatusCode, body)
+	}
+	var fr factsResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func TestIngestBasic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, skiUnit)
+
+	if askServed(t, ts.URL, id, "exists T plane(T, whistler)") {
+		t.Fatal("whistler should not fly yet")
+	}
+	fr := ingest(t, ts.URL, id, "resort(whistler).\nplane(1, whistler).\n")
+	if fr.ID != id {
+		t.Fatalf("id changed: %s", fr.ID)
+	}
+	if fr.Rev == id {
+		t.Fatal("rev did not advance")
+	}
+	if fr.NewFacts != 2 || !fr.Recertified {
+		t.Fatalf("unexpected result: %+v", fr)
+	}
+	if !askServed(t, ts.URL, id, "exists T plane(T, whistler)") {
+		t.Fatal("whistler missing after ingestion")
+	}
+	// The spec endpoint serves the re-preprocessed specification.
+	resp, body := getJSON(t, ts.URL+"/programs/"+id+"/spec")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spec: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "whistler") {
+		t.Fatal("served specification lacks the ingested constant")
+	}
+	// Duplicates are no-ops but still advance the revision chain.
+	fr2 := ingest(t, ts.URL, id, "resort(whistler).\n")
+	if fr2.NewFacts != 0 || fr2.Duplicates != 1 {
+		t.Fatalf("duplicate batch: %+v", fr2)
+	}
+	if fr2.Rev == fr.Rev {
+		t.Fatal("rev must advance with every batch")
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, skiUnit)
+
+	// Unknown program.
+	resp, _ := postJSON(t, ts.URL+"/programs/nope/facts", factsRequest{Facts: "resort(x)."})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", resp.StatusCode)
+	}
+	// Empty batch.
+	resp, _ = postJSON(t, ts.URL+"/programs/"+id+"/facts", factsRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", resp.StatusCode)
+	}
+	// Malformed fact source.
+	resp, _ = postJSON(t, ts.URL+"/programs/"+id+"/facts", factsRequest{Facts: "resort(x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parse error: status %d", resp.StatusCode)
+	}
+	// Signature conflict: plane is temporal with one argument.
+	resp, _ = postJSON(t, ts.URL+"/programs/"+id+"/facts", factsRequest{Facts: "plane(zermatt)."})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("signature conflict: status %d", resp.StatusCode)
+	}
+	// A failed ingestion publishes nothing.
+	if askServed(t, ts.URL, id, "exists T plane(T, zermatt)") {
+		t.Fatal("failed ingestion leaked facts")
+	}
+}
+
+// TestIngestSurvivesEviction: after the LRU evicts an ingested program,
+// the next lookup recompiles it from base + replayed batches and answers
+// identically.
+func TestIngestSurvivesEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: 1})
+	id := register(t, ts.URL, skiUnit)
+	ingest(t, ts.URL, id, "resort(whistler).\nplane(1, whistler).\n")
+
+	// Displace the ski program from the one-slot cache.
+	other := register(t, ts.URL, evenUnit)
+	if !askServed(t, ts.URL, other, "even(2)") {
+		t.Fatal("even(2)")
+	}
+	if s.Registry().CachedLen() != 1 {
+		t.Fatalf("cache len %d, want 1", s.Registry().CachedLen())
+	}
+	// The recompiled entry must include the ingested stream.
+	if !askServed(t, ts.URL, id, "exists T plane(T, whistler)") {
+		t.Fatal("recompiled program lost the ingested facts")
+	}
+}
+
+// TestIngestConcurrent hammers one program with concurrent ingestions and
+// queries; run under -race via scripts/ci.sh. Every batch must land
+// (writers are serialized per program) and queries must never error.
+func TestIngestConcurrent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, skiUnit)
+
+	const writers, perWriter, readers = 4, 5, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*perWriter+readers*perWriter)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r := fmt.Sprintf("w%dr%d", w, i)
+				resp, body := postJSON(t, ts.URL+"/programs/"+id+"/facts",
+					factsRequest{Facts: fmt.Sprintf("resort(%s).\nplane(%d, %s).\n", r, (w+i)%10, r)})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("writer %d: status %d: %s", w, resp.StatusCode, body)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				resp, body := postJSON(t, ts.URL+"/programs/"+id+"/ask",
+					askRequest{Query: "plane(0, hunter)"})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: status %d: %s", g, resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			r := fmt.Sprintf("w%dr%d", w, i)
+			if !askServed(t, ts.URL, id, fmt.Sprintf("exists T plane(T, %s)", r)) {
+				t.Fatalf("batch %s lost", r)
+			}
+		}
+	}
+}
+
+// TestIngestMetrics: ingestion shows up in the global counters and the
+// per-program engine section of /metrics.
+func TestIngestMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, skiUnit)
+	fr := ingest(t, ts.URL, id, "resort(whistler).\nplane(1, whistler).\n")
+
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Asserts != 1 || snap.Ingested != 2 {
+		t.Fatalf("asserts=%d ingested=%d, want 1 and 2", snap.Asserts, snap.Ingested)
+	}
+	ps, ok := snap.Programs[id]
+	if !ok {
+		t.Fatalf("program %s missing from metrics: %s", id, body)
+	}
+	if ps.Rev != fr.Rev {
+		t.Fatalf("metrics rev %s, response rev %s", ps.Rev, fr.Rev)
+	}
+	if ps.Derived <= 0 || ps.Firings <= 0 {
+		t.Fatalf("engine counters not wired: %+v", ps)
+	}
+	if ps.Period.P == 0 {
+		t.Fatalf("period not reported: %+v", ps)
+	}
+}

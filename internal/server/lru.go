@@ -65,6 +65,15 @@ func (c *lru[V]) remove(key string) {
 
 func (c *lru[V]) len() int { return c.ll.Len() }
 
+// each calls f for every resident entry, most recently used first. It
+// does not touch recency.
+func (c *lru[V]) each(f func(key string, value V)) {
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry[V])
+		f(e.key, e.value)
+	}
+}
+
 func (c *lru[V]) evictOldest() {
 	if el := c.ll.Back(); el != nil {
 		c.removeElement(el)

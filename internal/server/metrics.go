@@ -94,6 +94,9 @@ type Metrics struct {
 	CacheEvict  atomic.Int64 // entries displaced by the LRU policy
 	Fallbacks   atomic.Int64 // queries the spec path failed and BT answered
 
+	Asserts       atomic.Int64 // successful fact-ingestion batches
+	FactsIngested atomic.Int64 // facts new to a database across all ingestions
+
 	routes map[string]*routeMetrics
 }
 
@@ -119,7 +122,12 @@ type MetricsSnapshot struct {
 	CacheMisses int64                    `json:"cache_misses"`
 	CacheEvict  int64                    `json:"cache_evictions"`
 	Fallbacks   int64                    `json:"bt_fallbacks"`
+	Asserts     int64                    `json:"asserts"`
+	Ingested    int64                    `json:"facts_ingested"`
 	Routes      map[string]RouteSnapshot `json:"routes"`
+	// Programs holds per-program engine counters for every warm program;
+	// filled in by the metrics handler from the registry.
+	Programs map[string]ProgramStats `json:"programs,omitempty"`
 }
 
 // Snapshot captures a consistent-enough view for serving: counters are
@@ -135,6 +143,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CacheMisses: m.CacheMisses.Load(),
 		CacheEvict:  m.CacheEvict.Load(),
 		Fallbacks:   m.Fallbacks.Load(),
+		Asserts:     m.Asserts.Load(),
+		Ingested:    m.FactsIngested.Load(),
 		Routes:      make(map[string]RouteSnapshot, len(m.routes)),
 	}
 	for name, r := range m.routes {

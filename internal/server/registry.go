@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tdd"
 )
@@ -35,14 +36,24 @@ import (
 // ErrNotFound is returned by Lookup for an unregistered program id.
 var ErrNotFound = errors.New("server: unknown program id")
 
-// programSource is the registered, never-evicted form of a program: just
-// its sources and content hash. Recompiling from it after an eviction is
-// deterministic, so the cache can always be refilled.
+// programSource is the registered, never-evicted form of a program: its
+// base sources, the stream of fact batches ingested since registration,
+// and the content hashes. Recompiling from it after an eviction is
+// deterministic — the base is opened and the batches are re-asserted in
+// order — so the cache can always be refilled.
 type programSource struct {
 	id    string
 	unit  string // mixed rules+facts source ("" when rules/facts are split)
 	rules string
 	facts string
+	// rev is the content hash of the program *including* every ingested
+	// batch: it starts equal to id and advances with each ingestion, so
+	// clients can detect that the database behind a stable id has moved.
+	rev string
+	// extra is the ordered fact batches ingested via Ingest. Replaying
+	// them batch-by-batch reproduces the incremental sort coercion
+	// exactly (coercion depends on the predicates known at assert time).
+	extra []string
 }
 
 // entry is a warm program: the compiled BT engine plus the preprocessed
@@ -62,6 +73,10 @@ type entry struct {
 // ID returns the registry handle (content hash) of the program.
 func (e *entry) ID() string { return e.src.id }
 
+// Rev returns the content revision: equal to ID until facts are ingested,
+// then advanced by every batch.
+func (e *entry) Rev() string { return e.src.rev }
+
 // Period returns the certified minimal period.
 func (e *entry) Period() tdd.Period { return e.period }
 
@@ -70,13 +85,34 @@ func (e *entry) Period() tdd.Period { return e.period }
 // certifications).
 type future struct {
 	once  sync.Once
+	done  atomic.Bool
 	entry *entry
 	err   error
 }
 
 func (f *future) resolve(build func() (*entry, error)) (*entry, error) {
-	f.once.Do(func() { f.entry, f.err = build() })
+	f.once.Do(func() {
+		f.entry, f.err = build()
+		f.done.Store(true)
+	})
 	return f.entry, f.err
+}
+
+// peek returns the entry if the future has already resolved successfully,
+// nil otherwise. Never blocks — used by the metrics path to walk warm
+// entries without waiting on in-flight compiles.
+func (f *future) peek() *entry {
+	if !f.done.Load() {
+		return nil
+	}
+	return f.entry
+}
+
+// resolvedFuture wraps an already-built entry.
+func resolvedFuture(e *entry) *future {
+	f := &future{}
+	f.once.Do(func() { f.entry = e; f.done.Store(true) })
+	return f
 }
 
 // Registry stores registered program sources (unbounded — sources are
@@ -90,6 +126,9 @@ type Registry struct {
 	mu    sync.Mutex
 	progs map[string]*programSource
 	cache *lru[*future]
+	// writing holds one mutex per program id: Ingest serializes writers
+	// per program while readers keep querying the published entry.
+	writing map[string]*sync.Mutex
 }
 
 // NewRegistry builds a registry whose spec cache holds at most cacheSize
@@ -99,6 +138,7 @@ func NewRegistry(cacheSize, maxWindow int, m *Metrics) *Registry {
 		maxWindow: maxWindow,
 		metrics:   m,
 		progs:     make(map[string]*programSource),
+		writing:   make(map[string]*sync.Mutex),
 	}
 	r.cache = newLRU[*future](cacheSize, func(string, *future) {
 		m.CacheEvict.Add(1)
@@ -115,6 +155,17 @@ func hashSource(unit, rules, facts string) string {
 	h.Write([]byte(rules))
 	h.Write([]byte{0})
 	h.Write([]byte(facts))
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// nextRev advances the content revision by one ingested batch: a hash
+// chain, so the revision commits to the base program and the entire
+// ingestion history in order.
+func nextRev(rev, batch string) string {
+	h := sha256.New()
+	h.Write([]byte(rev))
+	h.Write([]byte{0})
+	h.Write([]byte(batch))
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -137,6 +188,14 @@ func (r *Registry) compile(src *programSource) (*entry, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Replay the ingestion history batch by batch: each Assert coerces
+	// against the predicates known at that point, exactly as the original
+	// ingestions did, so an evicted-and-recompiled entry is identical.
+	for _, batch := range src.extra {
+		if _, err := db.Assert(batch); err != nil {
+			return nil, fmt.Errorf("replaying ingested facts: %w", err)
+		}
 	}
 	specJSON, err := db.ExportSpec()
 	if err != nil {
@@ -179,13 +238,12 @@ func (r *Registry) Register(unit, rules, facts string) (e *entry, existing bool,
 	// proceeds in parallel. Two racing registrations of the same program
 	// both compile — idempotent, and the second simply refreshes the
 	// cache slot.
-	src := &programSource{id: id, unit: unit, rules: rules, facts: facts}
+	src := &programSource{id: id, unit: unit, rules: rules, facts: facts, rev: id}
 	ent, err := r.compile(src)
 	if err != nil {
 		return nil, false, err
 	}
-	f := &future{}
-	f.once.Do(func() { f.entry = ent }) // pre-resolve with the fresh entry
+	f := resolvedFuture(ent)
 
 	r.mu.Lock()
 	if _, ok := r.progs[id]; !ok {
@@ -230,6 +288,126 @@ func (r *Registry) Lookup(id string) (*entry, error) {
 		return nil, err
 	}
 	return e, nil
+}
+
+// Ingest appends a batch of facts (same syntax as registration fact
+// sources) to a registered program. Writers are serialized per program;
+// readers are never blocked — they keep querying the published entry
+// until the successor, built off to the side on a fork of the program's
+// DB, is swapped into the registry and the spec cache in one step. The
+// program keeps its stable id; the content revision advances. On error
+// (parse failure, signature conflict, uncertifiable period) nothing is
+// published and the program is unchanged.
+func (r *Registry) Ingest(id, facts string) (*entry, tdd.AssertResult, error) {
+	r.mu.Lock()
+	if _, ok := r.progs[id]; !ok {
+		r.mu.Unlock()
+		return nil, tdd.AssertResult{}, ErrNotFound
+	}
+	wl, ok := r.writing[id]
+	if !ok {
+		wl = &sync.Mutex{}
+		r.writing[id] = wl
+	}
+	r.mu.Unlock()
+
+	wl.Lock()
+	defer wl.Unlock()
+
+	// Re-read the source under mu: an ingest that held the writer lock
+	// before us may have advanced it.
+	r.mu.Lock()
+	src := r.progs[id]
+	r.mu.Unlock()
+
+	ent, err := r.Lookup(id)
+	if err != nil {
+		return nil, tdd.AssertResult{}, err
+	}
+	fork := ent.db.Fork()
+	res, err := fork.Assert(facts)
+	if err != nil {
+		return nil, res, err
+	}
+	specJSON, err := fork.ExportSpec()
+	if err != nil {
+		return nil, res, fmt.Errorf("re-preprocessing: %w", err)
+	}
+	specDB, err := tdd.ImportSpec(specJSON)
+	if err != nil {
+		return nil, res, fmt.Errorf("reloading specification: %w", err)
+	}
+	reps, nfacts, err := fork.SpecificationSize()
+	if err != nil {
+		return nil, res, err
+	}
+	nsrc := &programSource{
+		id:    id,
+		unit:  src.unit,
+		rules: src.rules,
+		facts: src.facts,
+		rev:   nextRev(src.rev, facts),
+		extra: append(append([]string(nil), src.extra...), facts),
+	}
+	ne := &entry{
+		src:      nsrc,
+		db:       fork,
+		specDB:   specDB,
+		specJSON: specJSON,
+		period:   specDB.Period(),
+		reps:     reps,
+		facts:    nfacts,
+	}
+	r.mu.Lock()
+	r.progs[id] = nsrc
+	r.cache.put(id, resolvedFuture(ne))
+	r.mu.Unlock()
+	r.metrics.Asserts.Add(1)
+	r.metrics.FactsIngested.Add(int64(res.NewFacts))
+	return ne, res, nil
+}
+
+// ProgramStats is the per-program engine section of the metrics snapshot:
+// the revision and the work counters of one warm program.
+type ProgramStats struct {
+	Rev             string     `json:"rev"`
+	Period          PeriodInfo `json:"period"`
+	Derived         int        `json:"derived"`
+	Firings         int        `json:"firings"`
+	Sweeps          int        `json:"sweeps"`
+	Representatives int        `json:"representatives"`
+	Facts           int        `json:"facts"`
+}
+
+// PeriodInfo is the JSON form of a period in metrics.
+type PeriodInfo struct {
+	Base int `json:"base"`
+	P    int `json:"p"`
+}
+
+// WarmStats reports engine work counters for every warm (resident and
+// resolved) program. In-flight compiles are skipped rather than awaited.
+func (r *Registry) WarmStats() map[string]ProgramStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]ProgramStats)
+	r.cache.each(func(id string, f *future) {
+		e := f.peek()
+		if e == nil {
+			return
+		}
+		derived, firings, sweeps := e.db.EngineStats()
+		out[id] = ProgramStats{
+			Rev:             e.src.rev,
+			Period:          PeriodInfo{Base: e.period.Base, P: e.period.P},
+			Derived:         derived,
+			Firings:         firings,
+			Sweeps:          sweeps,
+			Representatives: e.reps,
+			Facts:           e.facts,
+		}
+	})
+	return out
 }
 
 // IDs returns the registered program ids, sorted.

@@ -57,7 +57,7 @@ func DefaultConfig(c Config) Config {
 
 // routeNames label metrics slots; they match the mux patterns below.
 var routeNames = []string{
-	"register", "list", "ask", "answers", "period", "spec", "healthz", "metrics",
+	"register", "list", "facts", "ask", "answers", "period", "spec", "healthz", "metrics",
 }
 
 // Server is the tddserve HTTP service: registry + spec cache + worker
@@ -86,6 +86,7 @@ func New(cfg Config) *Server {
 	}
 	s.route("POST /programs", "register", s.handleRegister)
 	s.route("GET /programs", "list", s.handleList)
+	s.route("POST /programs/{id}/facts", "facts", s.handleFacts)
 	s.route("POST /programs/{id}/ask", "ask", s.handleAsk)
 	s.route("POST /programs/{id}/answers", "answers", s.handleAnswers)
 	s.route("GET /programs/{id}/period", "period", s.handlePeriod)

@@ -104,6 +104,32 @@ path(K+1, X, Y) :- path(K, X, Y).
 	return rules, b.String()
 }
 
+// Chain generates the bounded-path TDD over a directed chain
+// n0 -> n1 -> ... -> n(nodes-1), split for incremental ingestion: facts
+// holds the nodes and the first edge, stream holds the remaining edges one
+// fact source per edge, in chain order. Asserting the stream step by step
+// keeps lengthening the longest path — each step genuinely perturbs the
+// model's tail, so the workload exercises re-certification, not just delta
+// joins. It is the benchmark workload of BenchmarkAssertVsReopen.
+func Chain(nodes int) (rules, facts string, stream []string) {
+	rules = `path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+path(K+1, X, Y) :- path(K, X, Y).
+`
+	var b strings.Builder
+	b.WriteString("null(0).\n")
+	for i := 0; i < nodes; i++ {
+		fmt.Fprintf(&b, "node(n%d).\n", i)
+	}
+	if nodes > 1 {
+		b.WriteString("edge(n0, n1).\n")
+	}
+	for i := 1; i+1 < nodes; i++ {
+		stream = append(stream, fmt.Sprintf("edge(n%d, n%d).\n", i, i+1))
+	}
+	return rules, b.String(), stream
+}
+
 // CounterRules is the fixed rule set of the exponential-period family: an
 // n-bit binary counter clocked by tick. Bit values are carried as the
 // complementary predicates one/zero; the carry chain is computed within

@@ -2,10 +2,20 @@
 # ci.sh — the full verify gate for this repo. Every PR should pass this
 # locally; the tier-1 subset (build + test) is the hard floor, vet and
 # the race detector guard the concurrent serving paths (internal/server,
-# the tdd facade locking).
+# the tdd facade locking, the streaming Assert path), gofmt keeps the
+# tree canonical, and a short fuzz smoke keeps the parser honest on
+# adversarial unit sources.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -18,5 +28,8 @@ go test ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> parser fuzz smoke (5s)"
+go test ./internal/parser/ -run '^$' -fuzz '^FuzzParseUnit$' -fuzztime 5s
 
 echo "ci: all checks passed"
