@@ -251,6 +251,41 @@ func BenchmarkQueryAnswering(b *testing.B) {
 	})
 }
 
+// BenchmarkTraceOverhead: the full pipeline — open, certify, incremental
+// ingestion, deep query — on the chain workload with tracing disabled
+// (the default nil-trace no-op path) vs a trace attached. The disabled
+// variant is the <5% overhead acceptance gate for the instrumentation;
+// the traced variant prices what ?trace=1 and -trace actually cost.
+func BenchmarkTraceOverhead(b *testing.B) {
+	rules, facts, stream := workload.Chain(16)
+	pipeline := func(b *testing.B, traced bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			var opts []Option
+			if traced {
+				opts = append(opts, WithTrace(NewTrace()))
+			}
+			db, err := Open(rules, facts, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Period(); err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range stream {
+				if _, err := db.Assert(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := db.Ask("path(1000000, n0, n15)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { pipeline(b, false) })
+	b.Run("traced", func(b *testing.B) { pipeline(b, true) })
+}
+
 // BenchmarkE9Pruning: end-to-end deep ground query with and without
 // dependency slicing on k independent prime-period subsystems.
 func BenchmarkE9Pruning(b *testing.B) {

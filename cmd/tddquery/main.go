@@ -23,6 +23,9 @@
 //	-savespec f  write the relational specification (JSON) to f
 //	-fromspec f  answer queries from a saved specification (no TDD file)
 //	-window n  override the period-certification window budget
+//	-trace     print the EXPLAIN-style phase tree (parse, classify,
+//	           certify-period with fixpoint sweeps, spec-construct,
+//	           per-query answer) after the queries run
 //
 // Example:
 //
@@ -55,8 +58,20 @@ func run() error {
 	window := flag.Int("window", 0, "period-certification window budget (0 = default)")
 	saveSpec := flag.String("savespec", "", "write the relational specification (JSON) to this file")
 	fromSpec := flag.String("fromspec", "", "answer queries from a saved specification instead of a TDD file")
+	traceFlag := flag.Bool("trace", false, "print the phase tree of the whole pipeline")
 	flag.Parse()
 	args := flag.Args()
+
+	var tr *tdd.Trace
+	if *traceFlag {
+		tr = tdd.NewTrace()
+	}
+	// The phase tree prints last, after every phase has run.
+	printTrace := func() {
+		if tr != nil {
+			fmt.Print(tr.Tree())
+		}
+	}
 
 	if *fromSpec != "" {
 		data, err := os.ReadFile(*fromSpec)
@@ -71,7 +86,7 @@ func run() error {
 			fmt.Printf("period %v\n", sdb.Period())
 		}
 		for _, q := range args {
-			ans, err := sdb.Answers(q)
+			ans, err := sdb.AnswersLimitTrace(q, 0, tr)
 			if err != nil {
 				return fmt.Errorf("query %q: %w", q, err)
 			}
@@ -82,6 +97,7 @@ func run() error {
 			}
 			fmt.Print(tdd.FormatAnswers(ans))
 		}
+		printTrace()
 		return nil
 	}
 
@@ -91,6 +107,9 @@ func run() error {
 	}
 	if *explain {
 		opts = append(opts, tdd.WithProvenance())
+	}
+	if tr != nil {
+		opts = append(opts, tdd.WithTrace(tr))
 	}
 
 	var db *tdd.DB
@@ -164,7 +183,7 @@ func run() error {
 	}
 
 	for _, q := range args {
-		ans, err := db.Answers(q)
+		ans, err := db.AnswersLimitTrace(q, 0, tr)
 		if err != nil {
 			return fmt.Errorf("query %q: %w", q, err)
 		}
@@ -183,5 +202,6 @@ func run() error {
 			fmt.Print(tree)
 		}
 	}
+	printTrace()
 	return nil
 }

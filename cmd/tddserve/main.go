@@ -20,6 +20,8 @@
 //	-timeout d  per-request deadline (default 30s; negative disables)
 //	-window n   period-certification window budget per program (0 = engine default)
 //	-quiet      suppress per-request logs
+//	-slowquery d  log the full phase trace of requests slower than d (0 disables)
+//	-pprof      mount net/http/pprof under /debug/pprof/
 //
 // Endpoints:
 //
@@ -30,7 +32,13 @@
 //	GET  /programs/{id}/period   certified minimal period
 //	GET  /programs/{id}/spec     exported relational specification (JSON)
 //	GET  /healthz                liveness
-//	GET  /metrics                counters, latency histograms, cache stats
+//	GET  /metrics                counters, latency histograms, cache stats (JSON)
+//	GET  /metrics.prom           the same counters in Prometheus text exposition
+//
+// Query endpoints accept ?trace=1 to return the request's phase tree
+// (parse, classify, certify-period with fixpoint sweeps, answer) and the
+// program's per-rule firing table inline in the response; every response
+// carries an X-Trace-Id header matching the request log line.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests drain, then the worker pool stops.
@@ -65,6 +73,8 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (negative disables)")
 	window := flag.Int("window", 0, "period-certification window budget (0 = default)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
+	slowQuery := flag.Duration("slowquery", 0, "log full phase traces of requests slower than this (0 disables)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -74,6 +84,13 @@ func run() error {
 		CacheSize:      *cache,
 		RequestTimeout: *timeout,
 		MaxWindow:      *window,
+		SlowQueryLog:   *slowQuery,
+		EnablePprof:    *pprofFlag,
+	}
+	if *slowQuery > 0 {
+		// The slow-query log is the point of the flag; it must survive
+		// -quiet.
+		cfg.Logger = logger
 	}
 	if !*quiet {
 		cfg.Logger = logger

@@ -41,20 +41,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tddstream:", err)
 		os.Exit(1)
 	}
-	db, err := tdd.OpenUnit(string(src))
+	// The session trace accumulates one ingest/delta span per batch (up
+	// to the trace's span cap) and names the session in :stats output.
+	tr := tdd.NewTrace()
+	db, err := tdd.OpenUnit(string(src), tdd.WithTrace(tr))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tddstream:", err)
 		os.Exit(1)
 	}
-	if err := tail(db, os.Stdin, os.Stdout); err != nil {
+	if err := tail(db, tr, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tddstream:", err)
 		os.Exit(1)
 	}
 }
 
-func tail(db *tdd.DB, in io.Reader, out io.Writer) error {
+func tail(db *tdd.DB, tr *tdd.Trace, in io.Reader, out io.Writer) error {
 	scanner := bufio.NewScanner(in)
 	var watches []string
+	var batches []tdd.AssertResult
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
 		switch {
@@ -70,7 +74,12 @@ func tail(db *tdd.DB, in io.Reader, out io.Writer) error {
 			fmt.Fprintf(out, "period %v\n", p)
 		case line == ":stats":
 			derived, firings, sweeps := db.EngineStats()
-			fmt.Fprintf(out, "derived=%d firings=%d sweeps=%d\n", derived, firings, sweeps)
+			fmt.Fprintf(out, "trace=%s derived=%d firings=%d sweeps=%d batches=%d\n",
+				tr.ID(), derived, firings, sweeps, len(batches))
+			for i, b := range batches {
+				fmt.Fprintf(out, "  batch %d: new=%d dup=%d delta=%d recertified=%t\n",
+					i+1, b.NewFacts, b.Duplicates, b.Derived, b.Recertified)
+			}
 		case strings.HasPrefix(line, "??"):
 			q := strings.TrimSpace(strings.TrimPrefix(line, "??"))
 			if q == "" {
@@ -89,6 +98,7 @@ func tail(db *tdd.DB, in io.Reader, out io.Writer) error {
 				fmt.Fprintln(out, "error:", err)
 				break
 			}
+			batches = append(batches, res)
 			p, err := db.Period()
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)

@@ -245,8 +245,10 @@ plane(whoops
 		"W=whistler",                         // watch query re-fired after a batch
 		"W=hunter",
 		"period (b=",
+		"trace=", // :stats names the session trace
 		"derived=",
-		"error:", // malformed fact line is reported, not fatal
+		"batch 2: new=1", // per-batch delta stats
+		"error:",         // malformed fact line is reported, not fatal
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("missing %q in session:\n%s", want, s)

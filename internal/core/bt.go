@@ -20,8 +20,10 @@ import (
 	"sync"
 
 	"tdd/internal/ast"
+	"tdd/internal/classify"
 	"tdd/internal/engine"
 	"tdd/internal/inc"
+	"tdd/internal/obs"
 	"tdd/internal/period"
 	"tdd/internal/query"
 	"tdd/internal/spec"
@@ -46,6 +48,10 @@ type BT struct {
 	eval      *engine.Evaluator
 	maxWindow int
 	preds     map[string]ast.PredInfo
+	// tr, when non-nil, receives the pipeline's phase spans (classify,
+	// certify-period with nested fixpoint sweeps, spec-construct). All
+	// spans are recorded under mu, so one trace per BT is safe.
+	tr *obs.Trace
 
 	// mu guards spec and every mutation of eval (window growth, store
 	// inserts, stats, provenance) performed while computing it.
@@ -60,6 +66,18 @@ type Option func(*BT)
 // period of the least model.
 func WithMaxWindow(m int) Option {
 	return func(b *BT) { b.maxWindow = m }
+}
+
+// WithTrace attaches a trace: the specification pipeline records its
+// phases (classify, certify-period, fixpoint, spec-construct) and
+// incremental ingestion its delta spans into it. The classification
+// phase only runs when a trace is attached, so disabled tracing adds no
+// work at all.
+func WithTrace(tr *obs.Trace) Option {
+	return func(b *BT) {
+		b.tr = tr
+		b.eval.SetTrace(tr)
+	}
 }
 
 // New validates and compiles the TDD. The program must be
@@ -106,12 +124,32 @@ func (b *BT) specification() (*spec.Spec, error) {
 	if b.spec != nil {
 		return b.spec, nil
 	}
+	// The classification phase exists for the trace (it annotates the
+	// phase tree with the tractable-class verdict driving the expected
+	// cost of what follows); without a trace it would be pure overhead,
+	// so it is skipped entirely.
+	if b.tr != nil {
+		sp := b.tr.Begin("classify")
+		rep := classify.Analyze(b.eval.Program().Clone(), classify.AnalyzeOptions{})
+		sp.Add("valid", b2i(rep.Valid))
+		sp.Add("inflationary", b2i(rep.Inflationary))
+		sp.Add("multi_separable", b2i(rep.MultiSeparable))
+		sp.Add("tractable", b2i(rep.Tractable()))
+		sp.End()
+	}
 	s, err := spec.Compute(b.eval, b.maxWindow)
 	if err != nil {
 		return nil, err
 	}
 	b.spec = s
 	return s, nil
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // Period returns the certified minimal period of the least model.
@@ -187,7 +225,7 @@ func (b *BT) Assert(facts []ast.Fact) (*BT, inc.Result, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e2 := b.eval.Clone()
-	nb := &BT{eval: e2, maxWindow: b.maxWindow, preds: make(map[string]ast.PredInfo, len(b.preds))}
+	nb := &BT{eval: e2, maxWindow: b.maxWindow, preds: make(map[string]ast.PredInfo, len(b.preds)), tr: b.tr}
 	for k, v := range b.preds {
 		nb.preds[k] = v
 	}

@@ -64,8 +64,9 @@ func (e *Evaluator) Clone() *Evaluator {
 		store:     e.store.Clone(),
 		rules:     e.rules,
 		evaluated: e.evaluated,
-		stats:     e.stats,
+		stats:     e.stats.Clone(),
 		occ:       e.occ, // immutable once built
+		tr:        e.tr,
 	}
 	if e.prov != nil {
 		c.prov = make(map[string]*Derivation, len(e.prov))
@@ -118,9 +119,12 @@ func (e *Evaluator) PropagateDelta(seed []ast.Fact) int {
 		return 0
 	}
 	e.ensureOcc()
+	sp := e.tr.Begin("delta-propagate")
+	rounds := 0
 	total := 0
 	delta := seed
 	for len(delta) > 0 {
+		rounds++
 		var next []ast.Fact
 		for _, f := range delta {
 			for _, oc := range e.occ[f.Pred] {
@@ -150,9 +154,23 @@ func (e *Evaluator) PropagateDelta(seed []ast.Fact) int {
 				}
 			}
 		}
+		for _, f := range next {
+			t := -1
+			if f.Temporal {
+				t = f.Time
+			}
+			if e.stats.DeltaByTime == nil {
+				e.stats.DeltaByTime = make(map[int]int)
+			}
+			e.stats.DeltaByTime[t]++
+		}
 		total += len(next)
 		delta = next
 	}
+	sp.Add("seed", int64(len(seed)))
+	sp.Add("derived", int64(total))
+	sp.Add("rounds", int64(rounds))
+	sp.End()
 	return total
 }
 

@@ -4,9 +4,23 @@ import (
 	"fmt"
 
 	"tdd/internal/ast"
+	"tdd/internal/obs"
 )
 
-// Stats accumulates work counters for experiments and tests.
+// RuleStat is the per-rule slice of the work counters: how often one rule
+// fired (successful body instantiations) and how many new facts it
+// derived. The slice order matches the program's rule order.
+type RuleStat struct {
+	Rule    string `json:"rule"`
+	Firings int    `json:"firings"`
+	Derived int    `json:"derived"`
+}
+
+// Stats accumulates work counters for experiments, tests, and telemetry.
+// The aggregate counters (Derived, Firings, Sweeps) are the historical
+// core; the per-rule, per-sweep, per-timestamp extensions feed the
+// tracing layer (?trace=1 firing tables, tddstream :stats) without any
+// package-local side channel.
 type Stats struct {
 	// Derived counts facts added beyond the database.
 	Derived int
@@ -16,6 +30,35 @@ type Stats struct {
 	// Sweeps counts full passes over the window (the outer fixpoint driven
 	// by derived non-temporal facts re-sweeps).
 	Sweeps int
+	// Rules holds per-rule firing and derivation counts, parallel to the
+	// program's rule order.
+	Rules []RuleStat
+	// SweepSizes records the number of facts each full-window re-sweep
+	// added, in sweep order (len(SweepSizes) == Sweeps).
+	SweepSizes []int
+	// DeltaByTime records, per timestamp, how many facts semi-naive delta
+	// propagation (PropagateDelta) derived there; key -1 collects derived
+	// non-temporal facts.
+	DeltaByTime map[int]int
+	// StoreGrowth records the total store size after each window
+	// extension (EnsureWindow call that did work), oldest first.
+	StoreGrowth []int
+}
+
+// Clone deep-copies the stats so a snapshot does not alias the
+// evaluator's live counters.
+func (s Stats) Clone() Stats {
+	c := s
+	c.Rules = append([]RuleStat(nil), s.Rules...)
+	c.SweepSizes = append([]int(nil), s.SweepSizes...)
+	c.StoreGrowth = append([]int(nil), s.StoreGrowth...)
+	if s.DeltaByTime != nil {
+		c.DeltaByTime = make(map[int]int, len(s.DeltaByTime))
+		for k, v := range s.DeltaByTime {
+			c.DeltaByTime[k] = v
+		}
+	}
+	return c
 }
 
 // crule is a compiled (shift-normalized) rule.
@@ -23,6 +66,7 @@ type crule struct {
 	src          ast.Rule
 	head         ast.Atom
 	body         []ast.Atom
+	idx          int    // position in the program's rule order (per-rule stats)
 	timeVar      string // "" if the rule has no temporal variable
 	headDepth    int    // temporal head depth after shifting; -1 if head non-temporal
 	maxBodyDepth int    // max temporal body depth after shifting; -1 if none
@@ -49,6 +93,9 @@ type Evaluator struct {
 	// the first InsertBase so duplicate base asserts are detected against
 	// the database rather than the derived store (delta.go).
 	baseSet map[string]bool
+	// tr, when non-nil, receives fixpoint/sweep/delta spans; nil tracing
+	// costs one pointer comparison per EnsureWindow/PropagateDelta call.
+	tr *obs.Trace
 }
 
 // New compiles and validates a program/database pair. The program must be
@@ -70,7 +117,7 @@ func New(prog *ast.Program, db *ast.Database) (*Evaluator, error) {
 		// rule's enabling time: the rule contributes to states t with
 		// t - headDepth >= 0 only.
 		s := r.Clone()
-		c := crule{src: r, head: s.Head, body: s.Body, headDepth: -1, maxBodyDepth: -1}
+		c := crule{src: r, head: s.Head, body: s.Body, idx: len(e.rules), headDepth: -1, maxBodyDepth: -1}
 		if tv := s.TemporalVars(); len(tv) == 1 {
 			c.timeVar = tv[0]
 		}
@@ -84,6 +131,10 @@ func New(prog *ast.Program, db *ast.Database) (*Evaluator, error) {
 		}
 		e.rules = append(e.rules, c)
 	}
+	e.stats.Rules = make([]RuleStat, len(e.rules))
+	for i := range e.rules {
+		e.stats.Rules[i].Rule = e.rules[i].src.String()
+	}
 	for _, f := range db.Facts {
 		e.store.Insert(f)
 	}
@@ -93,8 +144,17 @@ func New(prog *ast.Program, db *ast.Database) (*Evaluator, error) {
 // Store exposes the fact store (read-only by convention).
 func (e *Evaluator) Store() *Store { return e.store }
 
-// Stats returns the accumulated work counters.
-func (e *Evaluator) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the accumulated work counters (the
+// extension slices are deep-copied; the evaluator keeps counting).
+func (e *Evaluator) Stats() Stats { return e.stats.Clone() }
+
+// SetTrace attaches (or, with nil, detaches) a trace: EnsureWindow and
+// PropagateDelta record fixpoint/sweep/delta spans into it. Callers
+// attach before evaluation starts; the engine never locks around it.
+func (e *Evaluator) SetTrace(tr *obs.Trace) { e.tr = tr }
+
+// Trace returns the attached trace (nil when tracing is disabled).
+func (e *Evaluator) Trace() *obs.Trace { return e.tr }
 
 // Database returns the database the evaluator was built with.
 func (e *Evaluator) Database() *ast.Database { return e.db }
@@ -114,28 +174,48 @@ func (e *Evaluator) EnsureWindow(m int) {
 	if m <= e.evaluated {
 		return
 	}
+	sp := e.tr.Begin("fixpoint")
+	from := e.evaluated
+	f0, d0, s0 := e.stats.Firings, e.stats.Derived, e.stats.Sweeps
+	ext := e.tr.Begin("extend")
 	for t := e.evaluated + 1; t <= m; t++ {
 		e.evalState(t, m)
 	}
 	e.evaluated = m
+	ext.Add("states", int64(m-from))
+	ext.Add("derived", int64(e.stats.Derived-d0))
+	ext.End()
 	// Outer fixpoint: close non-temporal consequences, re-sweeping the
 	// temporal window until nothing changes.
 	for {
 		nt := e.evalNonTemporalRules(m)
 		if nt == 0 {
-			return
+			break
 		}
 		for {
 			added := 0
 			e.stats.Sweeps++
+			ssp := e.tr.Begin("sweep")
+			sf0 := e.stats.Firings
 			for t := 0; t <= m; t++ {
 				added += e.evalState(t, m)
 			}
+			e.stats.SweepSizes = append(e.stats.SweepSizes, added)
+			ssp.Add("added", int64(added))
+			ssp.Add("firings", int64(e.stats.Firings-sf0))
+			ssp.End()
 			if added == 0 {
 				break
 			}
 		}
 	}
+	e.stats.StoreGrowth = append(e.stats.StoreGrowth, e.store.Len())
+	sp.Add("window", int64(m))
+	sp.Add("firings", int64(e.stats.Firings-f0))
+	sp.Add("derived", int64(e.stats.Derived-d0))
+	sp.Add("sweeps", int64(e.stats.Sweeps-s0))
+	sp.Add("store_len", int64(e.store.Len()))
+	sp.End()
 }
 
 // Holds reports whether the fact is in the least model. The window must
@@ -265,11 +345,13 @@ func (e *Evaluator) join(r *crule, i int, en *env, added *int) {
 // provenance. It reports the head fact and whether it was new.
 func (e *Evaluator) emit(r *crule, en *env) (ast.Fact, bool) {
 	e.stats.Firings++
+	e.stats.Rules[r.idx].Firings++
 	f := e.instantiate(r.head, en)
 	if !e.store.Insert(f) {
 		return f, false
 	}
 	e.stats.Derived++
+	e.stats.Rules[r.idx].Derived++
 	if e.prov != nil {
 		body := make([]ast.Fact, len(r.body))
 		for j, a := range r.body {

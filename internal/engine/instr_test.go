@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"testing"
+
+	"tdd/internal/ast"
+	"tdd/internal/obs"
+	"tdd/internal/parser"
+)
+
+func buildEval(t *testing.T, src string) *Evaluator {
+	t.Helper()
+	prog, db, err := parser.ParseUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestStatsExtension checks that per-rule, per-sweep, and store-growth
+// counters reconcile with the aggregate counters.
+func TestStatsExtension(t *testing.T) {
+	e := buildEval(t, `
+even(T+2) :- even(T).
+mark(X) :- even(T), tag(X).
+even(0).
+tag(a).
+`)
+	e.EnsureWindow(10)
+	st := e.Stats()
+	if len(st.Rules) != 2 {
+		t.Fatalf("Rules = %d entries, want 2", len(st.Rules))
+	}
+	var firings, derived int
+	for _, r := range st.Rules {
+		if r.Rule == "" {
+			t.Error("rule source missing in RuleStat")
+		}
+		firings += r.Firings
+		derived += r.Derived
+	}
+	if firings != st.Firings {
+		t.Errorf("per-rule firings sum %d != aggregate %d", firings, st.Firings)
+	}
+	if derived != st.Derived {
+		t.Errorf("per-rule derived sum %d != aggregate %d", derived, st.Derived)
+	}
+	if len(st.SweepSizes) != st.Sweeps {
+		t.Errorf("SweepSizes has %d entries, Sweeps = %d", len(st.SweepSizes), st.Sweeps)
+	}
+	if len(st.StoreGrowth) == 0 || st.StoreGrowth[len(st.StoreGrowth)-1] != e.Store().Len() {
+		t.Errorf("StoreGrowth %v should end at store size %d", st.StoreGrowth, e.Store().Len())
+	}
+}
+
+// TestStatsSnapshotIsolated checks the Stats getter deep-copies: the
+// evaluator keeps counting without mutating earlier snapshots.
+func TestStatsSnapshotIsolated(t *testing.T) {
+	e := buildEval(t, "even(T+2) :- even(T).\neven(0).\n")
+	e.EnsureWindow(4)
+	before := e.Stats()
+	ruleFirings := before.Rules[0].Firings
+	e.EnsureWindow(20)
+	if before.Rules[0].Firings != ruleFirings {
+		t.Error("snapshot mutated by later evaluation")
+	}
+	clone := e.Clone()
+	if _, err := clone.InsertBase(ast.Fact{Pred: "even", Temporal: true, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	clone.PropagateDelta([]ast.Fact{{Pred: "even", Temporal: true, Time: 1}})
+	if got := e.Stats().DeltaByTime; len(got) != 0 {
+		t.Errorf("clone's delta stats leaked into the original: %v", got)
+	}
+}
+
+// TestDeltaByTime checks PropagateDelta records per-timestamp delta
+// sizes.
+func TestDeltaByTime(t *testing.T) {
+	e := buildEval(t, "even(T+2) :- even(T).\neven(0).\n")
+	e.EnsureWindow(6)
+	f := ast.Fact{Pred: "even", Temporal: true, Time: 1}
+	if _, err := e.InsertBase(f); err != nil {
+		t.Fatal(err)
+	}
+	n := e.PropagateDelta([]ast.Fact{f})
+	if n == 0 {
+		t.Fatal("delta propagation derived nothing")
+	}
+	st := e.Stats()
+	total := 0
+	for tm, c := range st.DeltaByTime {
+		if tm < 0 {
+			t.Errorf("unexpected non-temporal delta bucket: %v", st.DeltaByTime)
+		}
+		total += c
+	}
+	if total != n {
+		t.Errorf("DeltaByTime sums to %d, PropagateDelta returned %d", total, n)
+	}
+}
+
+// TestFixpointSpans checks the engine emits fixpoint spans (with window
+// and firing counters) into an attached trace, and none when detached.
+func TestFixpointSpans(t *testing.T) {
+	e := buildEval(t, "even(T+2) :- even(T).\neven(0).\n")
+	tr := obs.New()
+	e.SetTrace(tr)
+	e.EnsureWindow(8)
+	snap := tr.Snapshot()
+	if len(snap.Phases) != 1 || snap.Phases[0].Name != "fixpoint" {
+		t.Fatalf("phases = %+v, want one fixpoint span", snap.Phases)
+	}
+	fx := snap.Phases[0]
+	if fx.Counters["window"] != 8 {
+		t.Errorf("window counter = %d, want 8", fx.Counters["window"])
+	}
+	if fx.Counters["firings"] == 0 {
+		t.Error("firings counter missing")
+	}
+
+	e2 := buildEval(t, "even(T+2) :- even(T).\neven(0).\n")
+	e2.EnsureWindow(8)
+	if e2.Trace() != nil {
+		t.Error("trace should default to nil")
+	}
+}

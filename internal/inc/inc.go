@@ -54,10 +54,12 @@ type Result struct {
 // server registry.
 func Apply(e *engine.Evaluator, old *spec.Spec, maxWindow int, facts []ast.Fact) (*spec.Spec, Result, error) {
 	var res Result
+	sp := e.Trace().Begin("ingest")
 	seed := make([]ast.Fact, 0, len(facts))
 	for _, f := range facts {
 		ok, err := e.InsertBase(f)
 		if err != nil {
+			sp.End()
 			return nil, res, err
 		}
 		if ok {
@@ -67,11 +69,16 @@ func Apply(e *engine.Evaluator, old *spec.Spec, maxWindow int, facts []ast.Fact)
 			res.Duplicates++
 		}
 	}
+	sp.Add("new", int64(res.NewBase))
+	sp.Add("dup", int64(res.Duplicates))
 	if len(seed) == 0 && old != nil {
+		sp.End()
 		res.Period = old.Period
 		return old, res, nil
 	}
 	res.Derived = e.PropagateDelta(seed)
+	sp.Add("derived", int64(res.Derived))
+	sp.End()
 
 	// Re-certification runs the full deterministic pipeline, so the result
 	// is exactly the minimal specification of the fact union — a changed

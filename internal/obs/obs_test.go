@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Errorf("nil trace ID = %q, want empty", tr.ID())
+	}
+	sp := tr.Begin("phase")
+	sp.Add("count", 1)
+	sp.End()
+	if tr.Snapshot() != nil {
+		t.Error("nil trace snapshot should be nil")
+	}
+	if tr.Tree() != "" {
+		t.Error("nil trace tree should be empty")
+	}
+}
+
+func TestNesting(t *testing.T) {
+	tr := New()
+	if len(tr.ID()) != 16 {
+		t.Errorf("trace ID %q, want 16 hex digits", tr.ID())
+	}
+	outer := tr.Begin("outer")
+	inner := tr.Begin("inner")
+	inner.Add("n", 2)
+	inner.Add("n", 3)
+	inner.End()
+	outer.End()
+	top := tr.Begin("top")
+	top.End()
+
+	snap := tr.Snapshot()
+	if len(snap.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2 (outer, top)", len(snap.Phases))
+	}
+	if snap.Phases[0].Name != "outer" || snap.Phases[1].Name != "top" {
+		t.Errorf("phase order %q, %q", snap.Phases[0].Name, snap.Phases[1].Name)
+	}
+	if len(snap.Phases[0].Children) != 1 || snap.Phases[0].Children[0].Name != "inner" {
+		t.Fatalf("inner span not nested under outer: %+v", snap.Phases[0])
+	}
+	if got := snap.Phases[0].Children[0].Counters["n"]; got != 5 {
+		t.Errorf("counter n = %d, want 5 (accumulated)", got)
+	}
+}
+
+func TestDurationsAndTotal(t *testing.T) {
+	tr := New()
+	sp := tr.Begin("work")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	snap := tr.Snapshot()
+	if snap.Phases[0].Us < 1000 {
+		t.Errorf("span duration %dus, want >= 1000", snap.Phases[0].Us)
+	}
+	if snap.TotalUs < snap.Phases[0].Us {
+		t.Errorf("total %dus < phase %dus", snap.TotalUs, snap.Phases[0].Us)
+	}
+}
+
+func TestEndIdempotentAndOpenSpanSnapshot(t *testing.T) {
+	tr := New()
+	sp := tr.Begin("p")
+	sp.End()
+	first := sp.dur
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if sp.dur != first {
+		t.Error("second End changed the recorded duration")
+	}
+
+	open := tr.Begin("open")
+	_ = open
+	snap := tr.Snapshot() // must not panic; open span gets elapsed-so-far
+	if len(snap.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(snap.Phases))
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := New()
+	for i := 0; i < maxSpans+10; i++ {
+		sp := tr.Begin("s")
+		sp.End()
+	}
+	snap := tr.Snapshot()
+	if snap.Dropped != 10 {
+		t.Errorf("dropped = %d, want 10", snap.Dropped)
+	}
+	if len(snap.Phases) != maxSpans {
+		t.Errorf("recorded = %d, want %d", len(snap.Phases), maxSpans)
+	}
+	if !strings.Contains(tr.Tree(), "spans dropped") {
+		t.Error("tree should mention dropped spans")
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	tr := NewWithID("deadbeefdeadbeef")
+	sp := tr.Begin("certify-period")
+	fx := tr.Begin("fixpoint")
+	fx.Add("window", 16)
+	fx.End()
+	sp.End()
+	tree := tr.Tree()
+	for _, want := range []string{"trace deadbeefdeadbeef", "certify-period", "fixpoint", "window=16"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestConcurrentSnapshot exercises snapshotting while another goroutine
+// appends spans (the slow-query logger reads traces the worker may still
+// be writing); run under -race.
+func TestConcurrentSnapshot(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			sp := tr.Begin("s")
+			sp.Add("i", int64(i))
+			sp.End()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+}
+
+func TestContextID(t *testing.T) {
+	ctx := WithID(t.Context(), "abc123")
+	if got := IDFrom(ctx); got != "abc123" {
+		t.Errorf("IDFrom = %q", got)
+	}
+	if got := IDFrom(t.Context()); got != "" {
+		t.Errorf("IDFrom(empty) = %q, want empty", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tdd"
+	"tdd/internal/obs"
 )
 
 // Wire types. Every response body is JSON; errors are {"error": "..."}
@@ -66,6 +67,43 @@ type askResponse struct {
 	Result    bool   `json:"result"`
 	Engine    string `json:"engine"` // "spec" (cache fast path) or "bt" (fallback)
 	ElapsedUs int64  `json:"elapsed_us"`
+	TraceID   string `json:"trace_id,omitempty"`
+	// Trace is the merged phase tree (compile pipeline + this request),
+	// present when the request carried ?trace=1.
+	Trace *traceJSON `json:"trace,omitempty"`
+}
+
+// traceJSON is the ?trace=1 response block: the merged phase tree plus
+// the warm program's per-rule firing table.
+type traceJSON struct {
+	obs.TraceJSON
+	Rules []tdd.RuleStat `json:"rules,omitempty"`
+}
+
+// mergedTrace folds the program's lifetime trace (compile + ingests) into
+// the request's own trace as a synthetic leading "compile" phase, so a
+// warm query's tree still shows where the preprocessing time went. The
+// compile phase's duration is the sum of its children (the lifetime
+// trace's wall clock includes arbitrary idle time between requests, so it
+// would dwarf the work it contains); the merged total is that sum plus
+// the request's wall time, keeping phase durations and the total
+// consistent.
+func mergedTrace(compile *obs.TraceJSON, req *obs.TraceJSON, rules []tdd.RuleStat) *traceJSON {
+	if req == nil {
+		return nil
+	}
+	out := &traceJSON{TraceJSON: *req, Rules: rules}
+	if compile != nil {
+		var us int64
+		for _, p := range compile.Phases {
+			us += p.Us
+		}
+		cp := obs.SpanJSON{Name: "compile", Us: us, Children: compile.Phases}
+		out.Phases = append([]obs.SpanJSON{cp}, req.Phases...)
+		out.TotalUs = us + req.TotalUs
+		out.Dropped += compile.Dropped
+	}
+	return out
 }
 
 type answersRequest struct {
@@ -84,9 +122,11 @@ type answersResponse struct {
 	// Rewrite is the specification's rewrite rule; each temporal binding
 	// t stands for the infinite family reachable by running the rule
 	// backwards (t, t+p, t+2p, ... once t >= base).
-	Rewrite   string `json:"rewrite"`
-	Engine    string `json:"engine"`
-	ElapsedUs int64  `json:"elapsed_us"`
+	Rewrite   string     `json:"rewrite"`
+	Engine    string     `json:"engine"`
+	ElapsedUs int64      `json:"elapsed_us"`
+	TraceID   string     `json:"trace_id,omitempty"`
+	Trace     *traceJSON `json:"trace,omitempty"`
 }
 
 type listResponse struct {
@@ -243,6 +283,30 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// traceWanted reports whether the request opted into an inline phase
+// tree via ?trace=1.
+func traceWanted(r *http.Request) bool {
+	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
+}
+
+// maybeLogSlow dumps the full phase tree of a request that crossed the
+// configured slow-query threshold.
+func (s *Server) maybeLogSlow(route, id, q string, elapsed time.Duration, tr *obs.Trace) {
+	if s.cfg.SlowQueryLog <= 0 || elapsed < s.cfg.SlowQueryLog {
+		return
+	}
+	s.cfg.Logger.Warn("slow query",
+		"route", route,
+		"program", id,
+		"query", q,
+		"elapsed_us", elapsed.Microseconds(),
+		"threshold_us", s.cfg.SlowQueryLog.Microseconds(),
+		"trace", tr.ID(),
+		"phases", "\n"+tr.Tree(),
+	)
+}
+
 // POST /programs/{id}/ask
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var req askRequest
@@ -252,20 +316,29 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	}
 	var (
 		resp askResponse
+		ent  *entry
+		tr   *obs.Trace
 		err  error
 	)
 	// Capture request-derived values before dispatch: on timeout the
 	// worker may still run the closure after this handler has returned,
 	// when r is no longer safe to touch.
 	id := r.PathValue("id")
+	wantTrace := traceWanted(r)
+	traceOn := wantTrace || s.cfg.SlowQueryLog > 0
+	tid := obs.IDFrom(r.Context())
 	start := time.Now()
 	if derr := s.dispatch(r, func() {
-		var ent *entry
 		ent, err = s.reg.Lookup(id)
 		if err != nil {
 			return
 		}
-		resp.Result, resp.Engine, err = ent.ask(req.Query, s.metrics)
+		// The trace starts inside the dispatched closure so queue wait
+		// does not smear into the first phase's duration.
+		if traceOn {
+			tr = obs.NewWithID(tid)
+		}
+		resp.Result, resp.Engine, err = ent.ask(req.Query, s.metrics, tr)
 	}); derr != nil {
 		s.writeError(w, derr)
 		return
@@ -274,7 +347,13 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	resp.ElapsedUs = time.Since(start).Microseconds()
+	elapsed := time.Since(start)
+	resp.ElapsedUs = elapsed.Microseconds()
+	resp.TraceID = tid
+	if wantTrace {
+		resp.Trace = mergedTrace(ent.CompileTrace(), tr.Snapshot(), ent.db.EngineDetail().Rules)
+	}
+	s.maybeLogSlow("ask", id, req.Query, elapsed, tr)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -293,16 +372,23 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		ans    []tdd.Answer
 		engine string
 		ent    *entry
+		tr     *obs.Trace
 		err    error
 	)
 	id := r.PathValue("id")
+	wantTrace := traceWanted(r)
+	traceOn := wantTrace || s.cfg.SlowQueryLog > 0
+	tid := obs.IDFrom(r.Context())
 	start := time.Now()
 	if derr := s.dispatch(r, func() {
 		ent, err = s.reg.Lookup(id)
 		if err != nil {
 			return
 		}
-		ans, engine, err = ent.answers(req.Query, req.Limit, s.metrics)
+		if traceOn {
+			tr = obs.NewWithID(tid)
+		}
+		ans, engine, err = ent.answers(req.Query, req.Limit, s.metrics, tr)
 	}); derr != nil {
 		s.writeError(w, derr)
 		return
@@ -311,16 +397,22 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	elapsed := time.Since(start)
 	resp := answersResponse{
 		Answers:   make([]answerJSON, 0, len(ans)),
 		Count:     len(ans),
 		Rewrite:   fmt.Sprintf("%d -> %d", ent.period.Base+ent.period.P, ent.period.Base),
 		Engine:    engine,
-		ElapsedUs: time.Since(start).Microseconds(),
+		ElapsedUs: elapsed.Microseconds(),
+		TraceID:   tid,
+	}
+	if wantTrace {
+		resp.Trace = mergedTrace(ent.CompileTrace(), tr.Snapshot(), ent.db.EngineDetail().Rules)
 	}
 	for _, a := range ans {
 		resp.Answers = append(resp.Answers, answerJSON{Temporal: a.Temporal, NonTemporal: a.NonTemporal})
 	}
+	s.maybeLogSlow("answers", id, req.Query, elapsed, tr)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -378,4 +470,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.Programs = s.reg.WarmStats()
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// GET /metrics.prom — the same counters in Prometheus text exposition,
+// for scrape-based monitoring.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w, s.reg.WarmStats())
 }

@@ -37,10 +37,9 @@ func (h *histogram) observe(d time.Duration) {
 
 // HistogramSnapshot is the JSON form of a histogram.
 type HistogramSnapshot struct {
-	Count     int64            `json:"count"`
-	MeanUs    float64          `json:"mean_us"`
-	Buckets   map[string]int64 `json:"buckets,omitempty"`
-	MaxBucket string           `json:"-"`
+	Count   int64            `json:"count"`
+	MeanUs  float64          `json:"mean_us"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
@@ -64,6 +63,18 @@ func (h *histogram) snapshot() HistogramSnapshot {
 
 func formatMicros(us int64) string {
 	return "le_" + time.Duration(us*int64(time.Microsecond)).String()
+}
+
+// cumulative returns the Prometheus view of the histogram: per-bucket
+// cumulative counts (one per bound plus the +Inf catch-all), the total
+// observation count, and the sum in microseconds.
+func (h *histogram) cumulative() (buckets [len(bucketBoundsMicros) + 1]int64, count, sumUs int64) {
+	var running int64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		buckets[i] = running
+	}
+	return buckets, h.count.Load(), h.sumMicros.Load()
 }
 
 // routeMetrics instruments one route.
@@ -98,6 +109,10 @@ type Metrics struct {
 	FactsIngested atomic.Int64 // facts new to a database across all ingestions
 
 	routes map[string]*routeMetrics
+	// orphan absorbs updates for route names missing from routes, so a
+	// route registered without a metrics slot degrades to uncounted
+	// rather than a nil dereference on the request path.
+	orphan routeMetrics
 }
 
 // newMetrics pre-creates the per-route slots so handler-path updates are
@@ -110,7 +125,12 @@ func newMetrics(routes []string) *Metrics {
 	return m
 }
 
-func (m *Metrics) route(name string) *routeMetrics { return m.routes[name] }
+func (m *Metrics) route(name string) *routeMetrics {
+	if rm, ok := m.routes[name]; ok {
+		return rm
+	}
+	return &m.orphan
+}
 
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {

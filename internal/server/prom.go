@@ -1,0 +1,114 @@
+package server
+
+// Prometheus text exposition (version 0.0.4) of the server's metrics.
+// Hand-rolled rather than depending on a client library: the metric set
+// is small, fixed, and entirely atomics-backed, so the exposition is a
+// deterministic walk. Served at GET /metrics.prom next to the richer
+// JSON snapshot at GET /metrics.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promMetric describes one scalar family: name, type, help, and a loader.
+type promMetric struct {
+	name string
+	typ  string // "counter" or "gauge"
+	help string
+	load func(m *Metrics) int64
+}
+
+var promScalars = []promMetric{
+	{"tddserve_requests_total", "counter", "HTTP requests received, any route.",
+		func(m *Metrics) int64 { return m.Requests.Load() }},
+	{"tddserve_errors_total", "counter", "Responses with status >= 400.",
+		func(m *Metrics) int64 { return m.Errors.Load() }},
+	{"tddserve_in_flight_requests", "gauge", "Requests currently executing.",
+		func(m *Metrics) int64 { return m.InFlight.Load() }},
+	{"tddserve_timeouts_total", "counter", "Requests that hit the per-request deadline.",
+		func(m *Metrics) int64 { return m.Timeouts.Load() }},
+	{"tddserve_spec_cache_hits_total", "counter", "Spec-cache lookups answered warm.",
+		func(m *Metrics) int64 { return m.CacheHits.Load() }},
+	{"tddserve_spec_cache_misses_total", "counter", "Spec-cache lookups that had to (re)compile.",
+		func(m *Metrics) int64 { return m.CacheMisses.Load() }},
+	{"tddserve_spec_cache_evictions_total", "counter", "Warm entries displaced by the LRU policy.",
+		func(m *Metrics) int64 { return m.CacheEvict.Load() }},
+	{"tddserve_bt_fallbacks_total", "counter", "Queries the spec path failed and the BT engine answered.",
+		func(m *Metrics) int64 { return m.Fallbacks.Load() }},
+	{"tddserve_asserts_total", "counter", "Successful fact-ingestion batches.",
+		func(m *Metrics) int64 { return m.Asserts.Load() }},
+	{"tddserve_facts_ingested_total", "counter", "Facts new to a database across all ingestions.",
+		func(m *Metrics) int64 { return m.FactsIngested.Load() }},
+}
+
+// promLe renders a bucket bound in seconds the way Prometheus clients do
+// (shortest float form, e.g. 5e-05, 0.001, 1).
+func promLe(us int64) string {
+	return strconv.FormatFloat(float64(us)/1e6, 'g', -1, 64)
+}
+
+// writePrometheus renders the whole exposition: the scalar families, the
+// per-route request/error counters and latency histograms, and per-warm-
+// program engine gauges. Route and program names are emitted sorted so
+// the output is deterministic (and testable line-for-line).
+func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats) {
+	for _, s := range promScalars {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.load(m))
+	}
+
+	routes := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		routes = append(routes, name)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintf(w, "# HELP tddserve_route_requests_total Requests per route.\n# TYPE tddserve_route_requests_total counter\n")
+	for _, name := range routes {
+		fmt.Fprintf(w, "tddserve_route_requests_total{route=%q} %d\n", name, m.routes[name].Requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP tddserve_route_errors_total Error responses per route.\n# TYPE tddserve_route_errors_total counter\n")
+	for _, name := range routes {
+		fmt.Fprintf(w, "tddserve_route_errors_total{route=%q} %d\n", name, m.routes[name].Errors.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP tddserve_request_duration_seconds Request latency per route.\n# TYPE tddserve_request_duration_seconds histogram\n")
+	for _, name := range routes {
+		buckets, count, sumUs := m.routes[name].latency.cumulative()
+		for i, bound := range bucketBoundsMicros {
+			fmt.Fprintf(w, "tddserve_request_duration_seconds_bucket{route=%q,le=%q} %d\n", name, promLe(bound), buckets[i])
+		}
+		fmt.Fprintf(w, "tddserve_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", name, buckets[len(buckets)-1])
+		fmt.Fprintf(w, "tddserve_request_duration_seconds_sum{route=%q} %s\n", name, strconv.FormatFloat(float64(sumUs)/1e6, 'g', -1, 64))
+		fmt.Fprintf(w, "tddserve_request_duration_seconds_count{route=%q} %d\n", name, count)
+	}
+
+	ids := make([]string, 0, len(programs))
+	for id := range programs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	progGauges := []struct {
+		name, help string
+		load       func(ProgramStats) int64
+	}{
+		{"tddserve_program_derived_facts", "Facts derived beyond the database for a warm program.",
+			func(p ProgramStats) int64 { return int64(p.Derived) }},
+		{"tddserve_program_rule_firings", "Rule firings for a warm program.",
+			func(p ProgramStats) int64 { return int64(p.Firings) }},
+		{"tddserve_program_sweeps", "Full window sweeps for a warm program.",
+			func(p ProgramStats) int64 { return int64(p.Sweeps) }},
+		{"tddserve_program_representatives", "Representative terms |T| of a warm program's specification.",
+			func(p ProgramStats) int64 { return int64(p.Representatives) }},
+		{"tddserve_program_spec_facts", "Primary-database facts |B| of a warm program's specification.",
+			func(p ProgramStats) int64 { return int64(p.Facts) }},
+	}
+	for _, g := range progGauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		for _, id := range ids {
+			fmt.Fprintf(w, "%s{program=%q} %d\n", g.name, id, g.load(programs[id]))
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"tdd"
+	"tdd/internal/obs"
 )
 
 // ErrNotFound is returned by Lookup for an unregistered program id.
@@ -68,7 +69,16 @@ type entry struct {
 	period   tdd.Period
 	reps     int // |T|, representative terms
 	facts    int // |B|, primary-database facts
+	// tr is the program's lifetime trace: the compile pipeline (parse,
+	// validate, classify, certify-period with fixpoint sweeps,
+	// spec-construct, preprocess, import) plus every ingest since.
+	// ?trace=1 responses merge a snapshot of it with the request's own
+	// trace so warm queries still show where the preprocessing time went.
+	tr *obs.Trace
 }
+
+// CompileTrace snapshots the program's lifetime trace.
+func (e *entry) CompileTrace() *obs.TraceJSON { return e.tr.Snapshot() }
 
 // ID returns the registry handle (content hash) of the program.
 func (e *entry) ID() string { return e.src.id }
@@ -173,7 +183,8 @@ func nextRev(rev, batch string) string {
 // export the relational specification, and re-import it as the immutable
 // serving structure.
 func (r *Registry) compile(src *programSource) (*entry, error) {
-	var opts []tdd.Option
+	tr := obs.New()
+	opts := []tdd.Option{tdd.WithTrace(tr)}
 	if r.maxWindow > 0 {
 		opts = append(opts, tdd.WithMaxWindow(r.maxWindow))
 	}
@@ -197,11 +208,18 @@ func (r *Registry) compile(src *programSource) (*entry, error) {
 			return nil, fmt.Errorf("replaying ingested facts: %w", err)
 		}
 	}
+	// The export triggers the whole certification pipeline, so its phases
+	// (classify, certify-period with fixpoint sweeps, spec-construct) nest
+	// under preprocess in the trace.
+	sp := tr.Begin("preprocess")
 	specJSON, err := db.ExportSpec()
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("preprocessing: %w", err)
 	}
+	sp = tr.Begin("import")
 	specDB, err := tdd.ImportSpec(specJSON)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("reloading specification: %w", err)
 	}
@@ -217,6 +235,7 @@ func (r *Registry) compile(src *programSource) (*entry, error) {
 		period:   specDB.Period(),
 		reps:     reps,
 		facts:    facts,
+		tr:       tr,
 	}, nil
 }
 
@@ -349,6 +368,9 @@ func (r *Registry) Ingest(id, facts string) (*entry, tdd.AssertResult, error) {
 		rev:   nextRev(src.rev, facts),
 		extra: append(append([]string(nil), src.extra...), facts),
 	}
+	// The fork's BT carries ent's lifetime trace, so the Assert above
+	// recorded its ingest/delta spans into it; the successor entry keeps
+	// the same trace.
 	ne := &entry{
 		src:      nsrc,
 		db:       fork,
@@ -357,6 +379,7 @@ func (r *Registry) Ingest(id, facts string) (*entry, tdd.AssertResult, error) {
 		period:   specDB.Period(),
 		reps:     reps,
 		facts:    nfacts,
+		tr:       ent.tr,
 	}
 	r.mu.Lock()
 	r.progs[id] = nsrc
@@ -431,14 +454,15 @@ func (r *Registry) CachedLen() int {
 
 // ask answers a closed query for this entry: the cached specification
 // first (the E7 fast path), the BT engine as fallback. engine reports
-// which path answered.
-func (e *entry) ask(q string, m *Metrics) (result bool, engine string, err error) {
-	result, err = e.specDB.Ask(q)
+// which path answered. tr (may be nil) receives the request's phase
+// spans; a fallback records a second parse-query/answer pair.
+func (e *entry) ask(q string, m *Metrics, tr *obs.Trace) (result bool, engine string, err error) {
+	result, err = e.specDB.AskTrace(q, tr)
 	if err == nil {
 		return result, "spec", nil
 	}
 	specErr := err
-	result, err = e.db.Ask(q)
+	result, err = e.db.AskTrace(q, tr)
 	if err != nil {
 		// Both failed — report the spec error; the paths share a parser,
 		// so this is almost always a malformed query.
@@ -450,13 +474,13 @@ func (e *entry) ask(q string, m *Metrics) (result bool, engine string, err error
 
 // answers enumerates (up to limit) answers for this entry, spec path
 // first with BT fallback; see ask.
-func (e *entry) answers(q string, limit int, m *Metrics) (ans []tdd.Answer, engine string, err error) {
-	ans, err = e.specDB.AnswersLimit(q, limit)
+func (e *entry) answers(q string, limit int, m *Metrics, tr *obs.Trace) (ans []tdd.Answer, engine string, err error) {
+	ans, err = e.specDB.AnswersLimitTrace(q, limit, tr)
 	if err == nil {
 		return ans, "spec", nil
 	}
 	specErr := err
-	ans, err = e.db.AnswersLimit(q, limit)
+	ans, err = e.db.AnswersLimitTrace(q, limit, tr)
 	if err != nil {
 		return nil, "", specErr
 	}

@@ -6,8 +6,11 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
+
+	"tdd/internal/obs"
 )
 
 // Config tunes a Server. The zero value is usable: DefaultConfig fills in
@@ -30,6 +33,14 @@ type Config struct {
 	MaxWindow int
 	// Logger receives structured request logs (default: discard).
 	Logger *slog.Logger
+	// SlowQueryLog, when positive, logs the full phase trace of any ask,
+	// answers, or facts request that takes at least this long (default:
+	// disabled).
+	SlowQueryLog time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default:
+	// off — profiling endpoints expose internals and should be opted
+	// into).
+	EnablePprof bool
 }
 
 // DefaultConfig resolves unset fields.
@@ -57,7 +68,7 @@ func DefaultConfig(c Config) Config {
 
 // routeNames label metrics slots; they match the mux patterns below.
 var routeNames = []string{
-	"register", "list", "facts", "ask", "answers", "period", "spec", "healthz", "metrics",
+	"register", "list", "facts", "ask", "answers", "period", "spec", "healthz", "metrics", "metrics_prom",
 }
 
 // Server is the tddserve HTTP service: registry + spec cache + worker
@@ -93,6 +104,17 @@ func New(cfg Config) *Server {
 	s.route("GET /programs/{id}/spec", "spec", s.handleSpec)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("GET /metrics.prom", "metrics_prom", s.handleMetricsProm)
+	if cfg.EnablePprof {
+		// Raw stdlib handlers, outside the instrumentation middleware:
+		// profile endpoints stream for configurable durations and would
+		// only distort the latency histograms.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -124,7 +146,12 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 		rm.Requests.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 
-		h(rec, r)
+		// Every request gets a trace ID: echoed in the X-Trace-Id header,
+		// attached to the log line, and reused as the ?trace=1 trace ID so
+		// logs and phase trees join on it.
+		tid := obs.NewID()
+		rec.Header().Set("X-Trace-Id", tid)
+		h(rec, r.WithContext(obs.WithID(r.Context(), tid)))
 
 		d := time.Since(start)
 		s.metrics.InFlight.Add(-1)
@@ -140,6 +167,7 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 			"status", rec.status,
 			"duration_us", d.Microseconds(),
 			"remote", r.RemoteAddr,
+			"trace", tid,
 		)
 	})
 }

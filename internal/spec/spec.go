@@ -37,16 +37,29 @@ type Spec struct {
 
 // Compute evaluates the TDD far enough to certify a minimal period and
 // returns the relational specification. maxWindow bounds the evaluation
-// window; see period.Detect.
+// window; see period.Detect. When the evaluator carries a trace, the two
+// phases are recorded as certify-period (with the engine's fixpoint
+// spans nested inside) and spec-construct.
 func Compute(e *engine.Evaluator, maxWindow int) (*Spec, error) {
-	p, _, err := period.Detect(e, maxWindow)
+	tr := e.Trace()
+	sp := tr.Begin("certify-period")
+	p, st, err := period.Detect(e, maxWindow)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Add("window", int64(st.Window))
+	sp.Add("grown", int64(st.Grown))
+	sp.Add("base", int64(p.Base))
+	sp.Add("p", int64(p.P))
+	sp.End()
+	sp = tr.Begin("spec-construct")
+	defer sp.End()
 	w, err := rewrite.New(rewrite.Rule{LHS: p.Base + p.P, RHS: p.Base})
 	if err != nil {
 		return nil, err
 	}
+	sp.Add("representatives", int64(p.Base+p.P))
 	return &Spec{Period: p, w: w, eval: e}, nil
 }
 

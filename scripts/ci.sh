@@ -29,6 +29,12 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> bench smoke (1 iteration)"
+# One iteration of the trace-overhead benchmark keeps the instrumented
+# engine paths exercised end to end (open, certify, ingest, deep query,
+# both with and without a live trace) without measuring anything.
+go test -run '^$' -bench '^BenchmarkTraceOverhead$' -benchtime 1x .
+
 echo "==> parser fuzz smoke (5s)"
 go test ./internal/parser/ -run '^$' -fuzz '^FuzzParseUnit$' -fuzztime 5s
 
