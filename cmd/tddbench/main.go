@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	tddbench [-quick] [E1 E3 ...]      # default: all experiments
+//	tddbench [-quick] [-parallel n] [E1 E3 ...]      # default: all experiments
+//
+// -parallel sets the engine worker bound the parallel-evaluation
+// experiment (E13) compares against the sequential schedule (default:
+// number of CPUs).
 package main
 
 import (
@@ -18,7 +22,11 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps")
+	parallel := flag.Int("parallel", experiments.Parallelism, "worker bound for the parallel-evaluation experiment")
 	flag.Parse()
+	if *parallel > 0 {
+		experiments.Parallelism = *parallel
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {

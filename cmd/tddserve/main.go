@@ -19,6 +19,7 @@
 //	-cache n    warm specifications kept resident, LRU (default 64)
 //	-timeout d  per-request deadline (default 30s; negative disables)
 //	-window n   period-certification window budget per program (0 = engine default)
+//	-parallel n engine worker goroutines per evaluation (0 = sequential schedule)
 //	-quiet      suppress per-request logs
 //	-slowquery d  log the full phase trace of requests slower than d (0 disables)
 //	-pprof      mount net/http/pprof under /debug/pprof/
@@ -72,6 +73,7 @@ func run() error {
 	cache := flag.Int("cache", 64, "warm specifications kept resident (LRU)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (negative disables)")
 	window := flag.Int("window", 0, "period-certification window budget (0 = default)")
+	parallel := flag.Int("parallel", 0, "engine worker goroutines per evaluation (0 = sequential)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	slowQuery := flag.Duration("slowquery", 0, "log full phase traces of requests slower than this (0 disables)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -84,6 +86,7 @@ func run() error {
 		CacheSize:      *cache,
 		RequestTimeout: *timeout,
 		MaxWindow:      *window,
+		Parallelism:    *parallel,
 		SlowQueryLog:   *slowQuery,
 		EnablePprof:    *pprofFlag,
 	}

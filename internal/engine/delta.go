@@ -67,6 +67,8 @@ func (e *Evaluator) Clone() *Evaluator {
 		stats:     e.stats.Clone(),
 		occ:       e.occ, // immutable once built
 		tr:        e.tr,
+		par:       e.par,
+		maxHead:   e.maxHead,
 	}
 	if e.prov != nil {
 		c.prov = make(map[string]*Derivation, len(e.prov))
@@ -117,6 +119,9 @@ func (e *Evaluator) PropagateDelta(seed []ast.Fact) int {
 	m := e.evaluated
 	if m < 0 || len(seed) == 0 {
 		return 0
+	}
+	if e.par > 0 {
+		return e.propagateDeltaParallel(seed, m)
 	}
 	e.ensureOcc()
 	sp := e.tr.Begin("delta-propagate")

@@ -70,6 +70,16 @@ type crule struct {
 	timeVar      string // "" if the rule has no temporal variable
 	headDepth    int    // temporal head depth after shifting; -1 if head non-temporal
 	maxBodyDepth int    // max temporal body depth after shifting; -1 if none
+	// sameOnly marks a temporal rule whose every body literal is temporal,
+	// non-ground, and at the head's own depth: it reads nothing but the
+	// state it writes. The parallel schedule runs such rules only on a
+	// state's first closure — no other task can ever feed them.
+	sameOnly bool
+	// samePreds lists the predicates of the body literals at the head's
+	// own depth. A local-fixpoint iteration can only enable this rule
+	// through one of them, so later iterations skip the rule unless the
+	// previous iteration added a matching predicate (semi-naive).
+	samePreds []string
 }
 
 // Evaluator computes the least model of prog ∧ db restricted to a growing
@@ -96,6 +106,14 @@ type Evaluator struct {
 	// tr, when non-nil, receives fixpoint/sweep/delta spans; nil tracing
 	// costs one pointer comparison per EnsureWindow/PropagateDelta call.
 	tr *obs.Trace
+	// par selects the evaluation schedule: 0 is the classic sequential
+	// sweep above; n >= 1 is the deterministic parallel schedule of
+	// parallel.go with at most n workers. See SetParallelism.
+	par int
+	// maxHead is the maximum temporal head depth over all rules (0 when
+	// every temporal head is at depth 0 or there are none). The parallel
+	// schedule uses it to bound which states a merged fact can affect.
+	maxHead int
 }
 
 // New compiles and validates a program/database pair. The program must be
@@ -124,10 +142,19 @@ func New(prog *ast.Program, db *ast.Database) (*Evaluator, error) {
 		if s.Head.Time != nil {
 			c.headDepth = s.Head.Time.Depth
 		}
+		c.sameOnly = c.headDepth >= 0
 		for _, a := range s.Body {
 			if a.Time != nil && !a.Time.Ground() && a.Time.Depth > c.maxBodyDepth {
 				c.maxBodyDepth = a.Time.Depth
 			}
+			if a.Time == nil || a.Time.Ground() || a.Time.Depth != c.headDepth {
+				c.sameOnly = false
+			} else {
+				c.samePreds = append(c.samePreds, a.Pred)
+			}
+		}
+		if c.headDepth > e.maxHead {
+			e.maxHead = c.headDepth
 		}
 		e.rules = append(e.rules, c)
 	}
@@ -147,6 +174,26 @@ func (e *Evaluator) Store() *Store { return e.store }
 // Stats returns a snapshot of the accumulated work counters (the
 // extension slices are deep-copied; the evaluator keeps counting).
 func (e *Evaluator) Stats() Stats { return e.stats.Clone() }
+
+// SetParallelism selects the evaluation schedule. n <= 0 (the default)
+// is the classic sequential sweep. n >= 1 switches EnsureWindow and
+// PropagateDelta to the deterministic round-based parallel schedule
+// (parallel.go) with at most n worker goroutines. The parallel schedule
+// computes the same least model, but visits instantiations in its own
+// (round-structured) order, so work counters (Firings, Sweeps,
+// SweepSizes) are comparable only between parallel runs: they are
+// bit-identical for every n >= 1 and across repeated runs, independent
+// of worker count and goroutine scheduling. Callers set parallelism
+// before evaluation starts; the engine never locks around it.
+func (e *Evaluator) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.par = n
+}
+
+// Parallelism returns the configured worker bound (0 = sequential).
+func (e *Evaluator) Parallelism() int { return e.par }
 
 // SetTrace attaches (or, with nil, detaches) a trace: EnsureWindow and
 // PropagateDelta record fixpoint/sweep/delta spans into it. Callers
@@ -172,6 +219,10 @@ func (e *Evaluator) Window() int { return e.evaluated }
 // outer fixpoint of algorithm BT's "until L_nt = L'_nt" condition).
 func (e *Evaluator) EnsureWindow(m int) {
 	if m <= e.evaluated {
+		return
+	}
+	if e.par > 0 {
+		e.ensureWindowParallel(m)
 		return
 	}
 	sp := e.tr.Begin("fixpoint")

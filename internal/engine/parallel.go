@@ -1,0 +1,556 @@
+package engine
+
+// Parallel evaluation schedule (SetParallelism(n), n >= 1).
+//
+// The sequential sweep of eval.go is Gauss-Seidel: every insert is
+// visible to the very next join. That schedule is inherently ordered, so
+// the parallel mode instead runs Jacobi-style rounds. A round picks a
+// deterministic task list (one task per temporal state, per non-temporal
+// rule binding, or per delta fact), workers evaluate tasks against the
+// store frozen as of the round start, and every emission goes into the
+// task's private candidate buffer. A single merge phase then inserts the
+// candidates in canonical (time, predicate, tuple) order — ties broken
+// by task order — and updates all counters. Because the task lists, the
+// per-task evaluation, and the merge order depend only on store content
+// (never on worker count or goroutine interleaving), the derived-fact
+// order, Stats tables, and trace counters are bit-identical for every
+// parallelism level n >= 1 and across repeated runs.
+//
+// Chomicki's time-stratification is what makes the partition safe and
+// cheap: the program is forward (every temporal head at least as deep as
+// each body literal), so facts at time t depend only on facts at times
+// <= t, every fact derivable at time t is derived by the task for state
+// t, and two tasks never write the same shard. Within its state each
+// task still runs the full local fixpoint through a private overlay, so
+// the only cross-state propagation left to the rounds is "fact at time u
+// enables states u+1 .. u+maxHead" — the affected() narrowing — and a
+// round's frontier is as wide as the data allows.
+//
+// Workers only read the store; no clone is taken. This is race-free
+// because merges happen strictly between rounds, on the coordinating
+// goroutine, after every worker has joined.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tdd/internal/ast"
+)
+
+// cand is one candidate head fact emitted by a worker: everything the
+// merge phase needs to replay the insert deterministically.
+type cand struct {
+	f    ast.Fact
+	key  string     // tupleKey(f.Args), precomputed for the merge sort
+	rule int        // rule index (per-rule stats, provenance)
+	time int        // temporal-variable binding (provenance Time)
+	body []ast.Fact // instantiated body; only when provenance is enabled
+}
+
+// taskResult collects one task's emissions and work counters. Workers
+// write only their own slot, so no locking is needed.
+type taskResult struct {
+	cands   []cand
+	firings []int // per-rule successful instantiations; nil until first
+}
+
+func (r *taskResult) firing(rules, idx int) {
+	if r.firings == nil {
+		r.firings = make([]int, rules)
+	}
+	r.firings[idx]++
+}
+
+// runTasks evaluates n tasks on at most e.par workers. Tasks are claimed
+// from an atomic counter; since each task writes only its own result
+// slot, assignment order is irrelevant to the outcome.
+func (e *Evaluator) runTasks(n int, run func(i int)) {
+	workers := e.par
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeRound inserts every candidate of the round in canonical order:
+// ascending time (non-temporal facts first, as time -1), then predicate,
+// then tuple; ties — the same fact reached by several tasks — resolve to
+// the earliest task, and within a task to emission order (the sort is
+// stable over the task-ordered concatenation). Per-rule firing counts
+// are summed (order-independent); Derived and provenance attribution
+// follow the canonical order. Returns the newly inserted facts, in
+// canonical order. delta selects DeltaByTime accounting.
+func (e *Evaluator) mergeRound(results []taskResult, delta bool) []ast.Fact {
+	total := 0
+	for i := range results {
+		total += len(results[i].cands)
+	}
+	all := make([]cand, 0, total)
+	for i := range results {
+		res := &results[i]
+		for r, n := range res.firings {
+			if n != 0 {
+				e.stats.Firings += n
+				e.stats.Rules[r].Firings += n
+			}
+		}
+		all = append(all, res.cands...)
+	}
+	// Sorting an index slice avoids moving the fat cand structs; the
+	// final index tie-break reproduces a stable sort's order exactly
+	// (indices follow task order, then emission order within a task).
+	idx := make([]int, len(all))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		fi, fj := all[i].f, all[j].f
+		ti, tj := -1, -1
+		if fi.Temporal {
+			ti = fi.Time
+		}
+		if fj.Temporal {
+			tj = fj.Time
+		}
+		if ti != tj {
+			return ti < tj
+		}
+		if fi.Pred != fj.Pred {
+			return fi.Pred < fj.Pred
+		}
+		if all[i].key != all[j].key {
+			return all[i].key < all[j].key
+		}
+		return i < j
+	})
+	var added []ast.Fact
+	for _, i := range idx {
+		c := all[i]
+		if !e.store.Insert(c.f) {
+			continue
+		}
+		e.stats.Derived++
+		e.stats.Rules[c.rule].Derived++
+		if e.prov != nil {
+			e.prov[factKey(c.f)] = &Derivation{Rule: e.rules[c.rule].src, Time: c.time, Body: c.body}
+		}
+		if delta {
+			t := -1
+			if c.f.Temporal {
+				t = c.f.Time
+			}
+			if e.stats.DeltaByTime == nil {
+				e.stats.DeltaByTime = make(map[int]int)
+			}
+			e.stats.DeltaByTime[t]++
+		}
+		added = append(added, c.f)
+	}
+	return added
+}
+
+// parTask is one worker-side unit of evaluation. Temporal state tasks
+// (t >= 0) carry an overlay of the facts they derived at their own time
+// point, giving them the same local-fixpoint visibility the sequential
+// evalState has; non-temporal and delta tasks (t < 0) only deduplicate
+// their emissions. cap, when >= 0, suppresses temporal heads beyond the
+// window (delta propagation leaves those to EnsureWindow).
+type parTask struct {
+	e        *Evaluator
+	t        int // overlay time point; -1 for non-temporal / delta tasks
+	ov       map[string]*relset
+	newPreds map[string]struct{} // overlay preds added this iteration
+	dedup    map[string]struct{}
+	res      *taskResult
+	cap      int
+}
+
+// emit records a firing and, if the head fact is new to the store and to
+// this task, buffers it as a candidate. Temporal state tasks also make
+// it visible to their own subsequent joins through the overlay.
+func (w *parTask) emit(r *crule, en *env) bool {
+	w.res.firing(len(w.e.rules), r.idx)
+	f := w.e.instantiate(r.head, en)
+	if f.Temporal && w.ov != nil {
+		if w.e.store.at(f.Pred, f.Time).has(f.Args) {
+			return false
+		}
+		rs := w.ov[f.Pred]
+		if rs == nil {
+			rs = newRelset()
+			w.ov[f.Pred] = rs
+		}
+		if !rs.insert(f.Args) {
+			return false
+		}
+		if w.newPreds != nil {
+			w.newPreds[f.Pred] = struct{}{}
+		}
+	} else {
+		if w.e.store.Has(f) {
+			return false
+		}
+		k := factKey(f)
+		if _, ok := w.dedup[k]; ok {
+			return false
+		}
+		w.dedup[k] = struct{}{}
+	}
+	c := cand{f: f, key: tupleKey(f.Args), rule: r.idx, time: en.time}
+	if w.e.prov != nil {
+		c.body = make([]ast.Fact, len(r.body))
+		for j, a := range r.body {
+			c.body[j] = w.e.instantiate(a, en)
+		}
+	}
+	w.res.cands = append(w.res.cands, c)
+	return true
+}
+
+// join is eval.go's join against the frozen store plus the task overlay.
+// pin skips an already-bound delta literal (-1 for none).
+func (w *parTask) join(r *crule, i, pin int, en *env, added *int) {
+	if i == pin {
+		w.join(r, i+1, pin, en, added)
+		return
+	}
+	if i >= len(r.body) {
+		if w.cap >= 0 && r.head.Time != nil && en.time+r.head.Time.Depth > w.cap {
+			return
+		}
+		if w.emit(r, en) {
+			*added++
+		}
+		return
+	}
+	a := r.body[i]
+	var base, ov *relset
+	if a.Time != nil {
+		bt := en.time + a.Time.Depth
+		base = w.e.store.at(a.Pred, bt)
+		if w.ov != nil && bt == w.t {
+			ov = w.ov[a.Pred]
+		}
+	} else {
+		base = w.e.store.nt(a.Pred)
+	}
+	if base == nil && ov == nil {
+		return
+	}
+	visit := func(tup []string) bool {
+		mark := len(en.trail)
+		if w.e.matchArgs(a.Args, tup, en) {
+			w.join(r, i+1, pin, en, added)
+		}
+		en.undo(mark)
+		return true
+	}
+	if len(a.Args) > 0 {
+		first := a.Args[0]
+		if !first.IsVar {
+			base.withFirst(first.Name, visit)
+			ov.withFirst(first.Name, visit)
+			return
+		}
+		if v, ok := en.vals[first.Name]; ok {
+			base.withFirst(v, visit)
+			ov.withFirst(v, visit)
+			return
+		}
+	}
+	base.all(visit)
+	ov.all(visit)
+}
+
+// fire instantiates rule r with its temporal variable bound to T, like
+// eval.go's fireRule.
+func (w *parTask) fire(r *crule, T int) int {
+	en := env{time: T, vals: make(map[string]string, 8)}
+	added := 0
+	w.join(r, 0, -1, &en, &added)
+	return added
+}
+
+// closeState is the task body for temporal state t: the same local
+// fixpoint as evalState, with derived facts accumulating in the overlay
+// instead of the store, narrowed semi-naively. Every head this task
+// derives lands at time t, so an iteration can only enable a rule
+// through a body literal at the head's own depth whose predicate the
+// previous iteration added (samePreds); other rules are closed already
+// and are skipped. On a revisit (fresh=false) the state's own facts are
+// unchanged since its last closure, so the first iteration additionally
+// skips sameOnly rules — only cross-state or non-temporal inputs can
+// have changed, and sameOnly rules read neither.
+func (w *parTask) closeState(t int, fresh bool) {
+	e := w.e
+	first := true
+	for {
+		n := 0
+		delta := w.newPreds
+		w.newPreds = make(map[string]struct{})
+		for i := range e.rules {
+			r := &e.rules[i]
+			if r.headDepth < 0 {
+				continue
+			}
+			if first {
+				if !fresh && r.sameOnly {
+					continue
+				}
+			} else {
+				enabled := false
+				for _, p := range r.samePreds {
+					if _, ok := delta[p]; ok {
+						enabled = true
+						break
+					}
+				}
+				if !enabled {
+					continue
+				}
+			}
+			T := t - r.headDepth
+			if T < 0 {
+				continue
+			}
+			n += w.fire(r, T)
+		}
+		first = false
+		if n == 0 {
+			return
+		}
+	}
+}
+
+// temporalRound closes each of the given states against the frozen store
+// and merges the results; fresh marks the states' first-ever closure.
+// Returns the newly inserted facts in canonical order.
+func (e *Evaluator) temporalRound(states []int, fresh bool) []ast.Fact {
+	if len(states) == 0 {
+		return nil
+	}
+	results := make([]taskResult, len(states))
+	e.runTasks(len(states), func(i int) {
+		w := parTask{e: e, t: states[i], ov: make(map[string]*relset), res: &results[i], cap: -1}
+		w.closeState(states[i], fresh)
+	})
+	return e.mergeRound(results, false)
+}
+
+// affected maps a round's merged facts to the states the next round must
+// revisit. A new fact at time u can feed a body literal at depth d <=
+// headDepth of some rule, landing the head at u-d+headDepth ∈ [u,
+// u+maxHead]; derivations landing back at u were already closed by state
+// u's own local fixpoint (only that task derives facts at u), so the
+// frontier is [u+1, min(u+maxHead, m)].
+func (e *Evaluator) affected(added []ast.Fact, m int) []int {
+	if e.maxHead == 0 {
+		return nil
+	}
+	set := make(map[int]struct{})
+	for _, f := range added {
+		if !f.Temporal {
+			continue
+		}
+		hi := f.Time + e.maxHead
+		if hi > m {
+			hi = m
+		}
+		for t := f.Time + 1; t <= hi; t++ {
+			set[t] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ntFixpointParallel closes the non-temporal rules over the window by
+// Jacobi rounds: every (rule, binding) task joins against the frozen
+// store, and rounds repeat until one adds nothing — the parallel
+// counterpart of evalNonTemporalRules' inner loop. Returns the number of
+// new facts.
+func (e *Evaluator) ntFixpointParallel(m int) int {
+	type ntTask struct{ rule, T int }
+	var tasks []ntTask
+	for i := range e.rules {
+		r := &e.rules[i]
+		if r.headDepth >= 0 {
+			continue
+		}
+		if r.timeVar == "" {
+			tasks = append(tasks, ntTask{i, 0})
+			continue
+		}
+		for T := 0; T+r.maxBodyDepth <= m; T++ {
+			tasks = append(tasks, ntTask{i, T})
+		}
+	}
+	if len(tasks) == 0 {
+		return 0
+	}
+	total := 0
+	for {
+		results := make([]taskResult, len(tasks))
+		e.runTasks(len(tasks), func(i int) {
+			w := parTask{e: e, t: -1, dedup: make(map[string]struct{}), res: &results[i], cap: -1}
+			w.fire(&e.rules[tasks[i].rule], tasks[i].T)
+		})
+		added := e.mergeRound(results, false)
+		total += len(added)
+		if len(added) == 0 {
+			return total
+		}
+	}
+}
+
+// ensureWindowParallel is EnsureWindow under the parallel schedule: the
+// same extension / non-temporal outer fixpoint structure, with each full
+// sweep replaced by rounds over the affected frontier.
+func (e *Evaluator) ensureWindowParallel(m int) {
+	sp := e.tr.Begin("fixpoint")
+	from := e.evaluated
+	f0, d0, s0 := e.stats.Firings, e.stats.Derived, e.stats.Sweeps
+	ext := e.tr.Begin("extend")
+	pending := make([]int, 0, m-from)
+	for t := from + 1; t <= m; t++ {
+		pending = append(pending, t)
+	}
+	fresh := true
+	for len(pending) > 0 {
+		pending = e.affected(e.temporalRound(pending, fresh), m)
+		fresh = false
+	}
+	e.evaluated = m
+	ext.Add("states", int64(m-from))
+	ext.Add("derived", int64(e.stats.Derived-d0))
+	ext.End()
+	// Outer fixpoint: close non-temporal consequences, re-sweeping the
+	// temporal window until nothing changes. The first re-sweep round
+	// visits every state (a new non-temporal fact can enable any of
+	// them); later rounds narrow to the affected frontier.
+	for {
+		if e.ntFixpointParallel(m) == 0 {
+			break
+		}
+		pending = pending[:0]
+		for t := 0; t <= m; t++ {
+			pending = append(pending, t)
+		}
+		for {
+			e.stats.Sweeps++
+			ssp := e.tr.Begin("sweep")
+			sf0 := e.stats.Firings
+			added := e.temporalRound(pending, false)
+			e.stats.SweepSizes = append(e.stats.SweepSizes, len(added))
+			ssp.Add("added", int64(len(added)))
+			ssp.Add("firings", int64(e.stats.Firings-sf0))
+			ssp.End()
+			if len(added) == 0 {
+				break
+			}
+			pending = e.affected(added, m)
+		}
+	}
+	e.stats.StoreGrowth = append(e.stats.StoreGrowth, e.store.Len())
+	sp.Add("window", int64(m))
+	sp.Add("firings", int64(e.stats.Firings-f0))
+	sp.Add("derived", int64(e.stats.Derived-d0))
+	sp.Add("sweeps", int64(e.stats.Sweeps-s0))
+	sp.Add("store_len", int64(e.store.Len()))
+	sp.End()
+}
+
+// fireDeltaFact is the task body for one delta fact: re-fire every rule
+// with a body literal matching it, pinned to it, like the sequential
+// PropagateDelta inner loop.
+func (w *parTask) fireDeltaFact(f ast.Fact) {
+	e := w.e
+	for _, oc := range e.occ[f.Pred] {
+		r := &e.rules[oc.rule]
+		lit := r.body[oc.lit]
+		if f.Temporal != (lit.Time != nil) {
+			continue
+		}
+		if f.Temporal {
+			T := f.Time - lit.Time.Depth
+			if T < 0 || !e.inRange(r, T, w.cap) {
+				continue
+			}
+			w.fireDelta(r, oc.lit, f, T)
+			continue
+		}
+		if r.timeVar == "" {
+			w.fireDelta(r, oc.lit, f, 0)
+			continue
+		}
+		for T := 0; e.inRange(r, T, w.cap); T++ {
+			w.fireDelta(r, oc.lit, f, T)
+		}
+	}
+}
+
+func (w *parTask) fireDelta(r *crule, pin int, f ast.Fact, T int) {
+	en := env{time: T, vals: make(map[string]string, 8)}
+	if !w.e.matchArgs(r.body[pin].Args, f.Args, &en) {
+		return
+	}
+	added := 0
+	w.join(r, 0, pin, &en, &added)
+}
+
+// propagateDeltaParallel is PropagateDelta under the parallel schedule:
+// each round partitions by pinned delta fact, side literals join against
+// the store frozen at the round start, and the merged facts (canonical
+// order) become the next round's delta. Closure holds by the usual
+// semi-naive argument: any instantiation with a new fact in its body is
+// found in the round after its newest body fact merged, with that fact
+// pinned.
+func (e *Evaluator) propagateDeltaParallel(seed []ast.Fact, m int) int {
+	e.ensureOcc()
+	sp := e.tr.Begin("delta-propagate")
+	rounds, total := 0, 0
+	delta := seed
+	for len(delta) > 0 {
+		rounds++
+		results := make([]taskResult, len(delta))
+		e.runTasks(len(delta), func(i int) {
+			w := parTask{e: e, t: -1, dedup: make(map[string]struct{}), res: &results[i], cap: m}
+			w.fireDeltaFact(delta[i])
+		})
+		next := e.mergeRound(results, true)
+		total += len(next)
+		delta = next
+	}
+	sp.Add("seed", int64(len(seed)))
+	sp.Add("derived", int64(total))
+	sp.Add("rounds", int64(rounds))
+	sp.End()
+	return total
+}

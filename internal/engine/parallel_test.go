@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tdd/internal/ast"
+)
+
+// parallelTestPrograms exercise every schedule path: temporal chains,
+// same-state recursion (local fixpoint), non-temporal feedback into the
+// temporal window, and mutual recursion across depths.
+var parallelTestPrograms = []struct {
+	name string
+	src  string
+}{
+	{"even", "even(T+2) :- even(T).\neven(0)."},
+	{"ski", `
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+offseason(T+10) :- offseason(T).
+winter(T+10) :- winter(T).
+holiday(T+10) :- holiday(T).
+winter(0). winter(1). winter(2). winter(3).
+offseason(4). offseason(5). offseason(6). offseason(7). offseason(8). offseason(9).
+holiday(1).
+resort(chamonix). resort(aspen).
+plane(0, chamonix). plane(2, aspen).
+`},
+	{"counter", `
+tick(T+1) :- tick(T).
+carry(T, X) :- tick(T), first(X).
+carry(T, Y) :- succ(X, Y), carry(T, X), one(T, X).
+nocarry(T, Y) :- succ(X, Y), zero(T, X).
+nocarry(T, Y) :- succ(X, Y), nocarry(T, X).
+one(T+1, X) :- zero(T, X), carry(T, X).
+one(T+1, X) :- one(T, X), nocarry(T, X).
+zero(T+1, X) :- one(T, X), carry(T, X).
+zero(T+1, X) :- zero(T, X), nocarry(T, X).
+tick(0). first(b0).
+zero(0, b0). zero(0, b1). zero(0, b2).
+succ(b0, b1). succ(b1, b2).
+`},
+	{"ntfeedback", `
+p(T+1, X) :- p(T, X), good(X).
+good(X) :- p(T, X), seen(X).
+seen(X) :- p(T, X), mark(X).
+mark(a).
+p(0, a). p(3, b).
+`},
+	{"reach", `
+path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+path(K+1, X, Y) :- path(K, X, Y).
+null(0).
+node(n0). node(n1). node(n2). node(n3).
+edge(n0, n1). edge(n1, n2). edge(n2, n3). edge(n3, n0). edge(n0, n2).
+`},
+}
+
+// windowFingerprint renders everything observable about an evaluated
+// window: every state, the non-temporal part, and the full Stats tables.
+// Byte equality of fingerprints is the determinism contract.
+func windowFingerprint(e *Evaluator, m int) string {
+	out := ""
+	for t := 0; t <= m; t++ {
+		out += fmt.Sprintf("state %d: %q\n", t, e.Store().StateKey(t))
+	}
+	db := ast.Database{Facts: e.Store().NonTemporalFacts()}
+	out += "nt:\n" + db.String()
+	st := e.Stats()
+	out += fmt.Sprintf("derived=%d firings=%d sweeps=%d sizes=%v growth=%v\n",
+		st.Derived, st.Firings, st.Sweeps, st.SweepSizes, st.StoreGrowth)
+	for _, rs := range st.Rules {
+		out += fmt.Sprintf("rule %q: firings=%d derived=%d\n", rs.Rule, rs.Firings, rs.Derived)
+	}
+	return out
+}
+
+// TestParallelMatchesSequentialModel checks the schedules agree on the
+// semantics: same states, same non-temporal part, for every parallelism
+// level.
+func TestParallelMatchesSequentialModel(t *testing.T) {
+	const m = 25
+	for _, tc := range parallelTestPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := mustEval(t, tc.src)
+			seq.EnsureWindow(m)
+			for _, par := range []int{1, 2, 8} {
+				e := mustEval(t, tc.src)
+				e.SetParallelism(par)
+				e.EnsureWindow(m)
+				assertSameWindow(t, e, seq, m, fmt.Sprintf("parallelism %d", par))
+			}
+		})
+	}
+}
+
+// TestParallelStatsIndependentOfWorkerCount checks the parallel
+// schedule's whole observable output — states, stats tables, sweep
+// sizes — is bit-identical across parallelism levels: the schedule is
+// defined by the rounds, not by how many goroutines execute them.
+func TestParallelStatsIndependentOfWorkerCount(t *testing.T) {
+	const m = 25
+	for _, tc := range parallelTestPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, par := range []int{1, 2, 4, 8} {
+				e := mustEval(t, tc.src)
+				e.SetParallelism(par)
+				e.EnsureWindow(m)
+				got := windowFingerprint(e, m)
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("parallelism %d diverged:\n%s\nwant:\n%s", par, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDeterministic runs the same evaluation 20 times at
+// parallelism 8 and requires byte-identical fingerprints: the canonical
+// merge order must erase all goroutine scheduling nondeterminism.
+func TestParallelDeterministic(t *testing.T) {
+	const m, runs = 25, 20
+	for _, tc := range parallelTestPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for i := 0; i < runs; i++ {
+				e := mustEval(t, tc.src)
+				e.SetParallelism(8)
+				e.EnsureWindow(m)
+				got := windowFingerprint(e, m)
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("run %d diverged:\n%s\nwant:\n%s", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDeltaMatchesFromScratch checks semi-naive propagation
+// under the parallel schedule against a parallel from-scratch evaluation
+// of the union, mirroring the sequential incremental oracle.
+func TestParallelDeltaMatchesFromScratch(t *testing.T) {
+	const m = 20
+	src := `
+p(T+2, X) :- p(T, X), q(X).
+r(T+1, X) :- p(T, X), flag(X).
+flag(X) :- r(T, X), q(X).
+p(0, a). q(a). q(b).
+`
+	for _, par := range []int{1, 2, 8} {
+		inc := mustEval(t, src)
+		inc.SetParallelism(par)
+		inc.EnsureWindow(m)
+		batch := []ast.Fact{tfact("p", 1, "b"), ntfact("flag", "b"), tfact("p", 4, "a")}
+		var seed []ast.Fact
+		for _, f := range batch {
+			ok, err := inc.InsertBase(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				seed = append(seed, f)
+			}
+		}
+		inc.PropagateDelta(seed)
+
+		scratch := mustEval(t, src)
+		scratch.SetParallelism(par)
+		for _, f := range batch {
+			if _, err := scratch.InsertBase(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scratch.EnsureWindow(m)
+		assertSameWindow(t, inc, scratch, m, fmt.Sprintf("parallel delta, parallelism %d", par))
+	}
+}
+
+// TestParallelCloneCarriesParallelism checks Clone preserves the
+// configured schedule (Assert paths clone before propagating).
+func TestParallelCloneCarriesParallelism(t *testing.T) {
+	e := mustEval(t, "even(T+2) :- even(T).\neven(0).")
+	e.SetParallelism(4)
+	if c := e.Clone(); c.Parallelism() != 4 {
+		t.Fatalf("clone parallelism = %d, want 4", c.Parallelism())
+	}
+}
+
+// TestStoreIterationOrderDeterministic is the regression test for the
+// map-order bug: relset iteration (all, withFirst, State, Snapshot) must
+// follow insertion order, including after a copy-on-write materialize,
+// so join enumeration and answer rendering cannot reshuffle between
+// runs.
+func TestStoreIterationOrderDeterministic(t *testing.T) {
+	ins := [][]string{{"c", "1"}, {"a", "2"}, {"b", "3"}, {"a", "1"}, {"z", "0"}}
+	collect := func(rs *relset) [][]string {
+		var got [][]string
+		rs.all(func(tup []string) bool { got = append(got, tup); return true })
+		return got
+	}
+
+	rs := newRelset()
+	for _, tup := range ins {
+		rs.insert(tup)
+	}
+	if got := collect(rs); !reflect.DeepEqual(got, ins) {
+		t.Fatalf("all() order = %v, want insertion order %v", got, ins)
+	}
+	if got := collect(rs.materialize()); !reflect.DeepEqual(got, ins) {
+		t.Fatalf("materialized all() order = %v, want insertion order %v", got, ins)
+	}
+
+	s := NewStore()
+	for _, tup := range ins {
+		s.Insert(ast.Fact{Pred: "e", Args: tup})
+	}
+	// Writing through a clone materializes the shared shard; the order
+	// must survive.
+	c := s.Clone()
+	c.Insert(ast.Fact{Pred: "e", Args: []string{"m", "9"}})
+	var got [][]string
+	c.nt("e").all(func(tup []string) bool { got = append(got, tup); return true })
+	want := append(append([][]string{}, ins...), []string{"m", "9"})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-COW all() order = %v, want %v", got, want)
+	}
+}

@@ -25,24 +25,36 @@ import (
 // parsed constants.
 func tupleKey(args []string) string { return strings.Join(args, "\x00") }
 
-// relset is a set of tuples with a first-column index for joins.
+// relset is a set of tuples with a first-column index for joins. It is
+// one shard of the store (one predicate at one time point, or one
+// non-temporal predicate), the unit of copy-on-write sharing between
+// store clones.
 type relset struct {
-	m       map[string][]string   // key -> tuple
+	m       map[string]struct{}   // membership by tuple key
+	list    [][]string            // tuples in insertion order (see all)
 	byFirst map[string][][]string // first column -> tuples (arity >= 1 only)
+	// shared marks a shard referenced by more than one store (set by
+	// Store.Clone). A shared shard is immutable: writers materialize a
+	// private copy first. The flag is written only while clones are
+	// serialized by the caller (the evaluator's copy-on-write
+	// discipline), and only read afterwards.
+	shared bool
 }
 
 func newRelset() *relset {
-	return &relset{m: make(map[string][]string)}
+	return &relset{m: make(map[string]struct{})}
 }
 
-// insert adds the tuple, reporting whether it was new.
+// insert adds the tuple, reporting whether it was new. The caller must
+// hold a private (non-shared) shard; see Store.Insert.
 func (r *relset) insert(args []string) bool {
 	k := tupleKey(args)
 	if _, ok := r.m[k]; ok {
 		return false
 	}
 	stored := append([]string(nil), args...)
-	r.m[k] = stored
+	r.m[k] = struct{}{}
+	r.list = append(r.list, stored)
 	if len(stored) > 0 {
 		if r.byFirst == nil {
 			r.byFirst = make(map[string][][]string)
@@ -67,19 +79,23 @@ func (r *relset) size() int {
 	return len(r.m)
 }
 
-// all iterates every tuple.
+// all iterates every tuple in insertion order. Iterating the list rather
+// than the membership map keeps every downstream order — join
+// enumeration, provenance ("first derivation"), answer rendering —
+// deterministic between runs; map order would reshuffle them.
 func (r *relset) all(f func([]string) bool) {
 	if r == nil {
 		return
 	}
-	for _, tup := range r.m {
+	for _, tup := range r.list {
 		if !f(tup) {
 			return
 		}
 	}
 }
 
-// withFirst iterates tuples whose first column equals v.
+// withFirst iterates tuples whose first column equals v, in insertion
+// order.
 func (r *relset) withFirst(v string, f func([]string) bool) {
 	if r == nil || r.byFirst == nil {
 		return
@@ -91,12 +107,15 @@ func (r *relset) withFirst(v string, f func([]string) bool) {
 	}
 }
 
-// clone copies the relset's index structure. Tuples are immutable after
-// insert, so they are shared between the clone and the original.
-func (r *relset) clone() *relset {
-	c := &relset{m: make(map[string][]string, len(r.m))}
-	for k, v := range r.m {
-		c.m[k] = v
+// materialize deep-copies a shared shard so the caller can write to it.
+// Tuples are immutable after insert and stay shared.
+func (r *relset) materialize() *relset {
+	c := &relset{
+		m:    make(map[string]struct{}, len(r.m)),
+		list: append(make([][]string, 0, len(r.list)), r.list...),
+	}
+	for k := range r.m {
+		c.m[k] = struct{}{}
 	}
 	if r.byFirst != nil {
 		c.byFirst = make(map[string][][]string, len(r.byFirst))
@@ -129,9 +148,14 @@ func NewStore() *Store {
 }
 
 // Clone returns an independent copy of the store: inserts into the clone
-// are invisible to the original and vice versa. Tuples are shared (they
-// are immutable after insert), so a clone costs one index copy, not a
-// deep copy of the data.
+// are invisible to the original and vice versa. The copy is
+// copy-on-write at shard (predicate×timestamp) granularity: both stores
+// share every relset until one of them writes into it, so a clone costs
+// O(shards) pointer copies — independent of the number of facts — and a
+// subsequent write deep-copies only the shards it touches. Clone must be
+// externally serialized against writes to s (the evaluator's single-
+// writer discipline); afterwards the two stores may be written from
+// different goroutines.
 func (s *Store) Clone() *Store {
 	c := &Store{
 		temporal:    make(map[string]map[int]*relset, len(s.temporal)),
@@ -141,12 +165,14 @@ func (s *Store) Clone() *Store {
 	for pred, byTime := range s.temporal {
 		bt := make(map[int]*relset, len(byTime))
 		for t, rs := range byTime {
-			bt[t] = rs.clone()
+			rs.shared = true
+			bt[t] = rs
 		}
 		c.temporal[pred] = bt
 	}
 	for pred, rs := range s.nonTemporal {
-		c.nonTemporal[pred] = rs.clone()
+		rs.shared = true
+		c.nonTemporal[pred] = rs
 	}
 	if s.keys != nil {
 		c.keys = make(map[int]string, len(s.keys))
@@ -157,7 +183,9 @@ func (s *Store) Clone() *Store {
 	return c
 }
 
-// Insert adds a fact, reporting whether it was new.
+// Insert adds a fact, reporting whether it was new. Inserting into a
+// shard shared with a clone first materializes a private copy
+// (copy-on-write); duplicate inserts never copy.
 func (s *Store) Insert(f ast.Fact) bool {
 	var added bool
 	if f.Temporal {
@@ -167,8 +195,15 @@ func (s *Store) Insert(f ast.Fact) bool {
 			s.temporal[f.Pred] = byTime
 		}
 		rs, ok := byTime[f.Time]
-		if !ok {
+		switch {
+		case !ok:
 			rs = newRelset()
+			byTime[f.Time] = rs
+		case rs.shared:
+			if rs.has(f.Args) {
+				return false
+			}
+			rs = rs.materialize()
 			byTime[f.Time] = rs
 		}
 		added = rs.insert(f.Args)
@@ -177,8 +212,15 @@ func (s *Store) Insert(f ast.Fact) bool {
 		}
 	} else {
 		rs, ok := s.nonTemporal[f.Pred]
-		if !ok {
+		switch {
+		case !ok:
 			rs = newRelset()
+			s.nonTemporal[f.Pred] = rs
+		case rs.shared:
+			if rs.has(f.Args) {
+				return false
+			}
+			rs = rs.materialize()
 			s.nonTemporal[f.Pred] = rs
 		}
 		added = rs.insert(f.Args)
@@ -263,7 +305,7 @@ func (s *Store) State(t int) []ast.Fact {
 		if rs == nil {
 			continue
 		}
-		for _, tup := range rs.m {
+		for _, tup := range rs.list {
 			out = append(out, ast.Fact{Pred: pred, Args: append([]string(nil), tup...)})
 		}
 	}
@@ -280,7 +322,7 @@ func (s *Store) Snapshot(t int) []ast.Fact {
 		if rs == nil {
 			continue
 		}
-		for _, tup := range rs.m {
+		for _, tup := range rs.list {
 			out = append(out, ast.Fact{Pred: pred, Temporal: true, Time: t, Args: append([]string(nil), tup...)})
 		}
 	}
@@ -292,7 +334,7 @@ func (s *Store) Snapshot(t int) []ast.Fact {
 func (s *Store) NonTemporalFacts() []ast.Fact {
 	var out []ast.Fact
 	for pred, rs := range s.nonTemporal {
-		for _, tup := range rs.m {
+		for _, tup := range rs.list {
 			out = append(out, ast.Fact{Pred: pred, Args: append([]string(nil), tup...)})
 		}
 	}

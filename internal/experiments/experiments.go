@@ -85,9 +85,10 @@ var All = map[string]Runner{
 	"E8":  E8,
 	"E9":  E9,
 	"E10": E10,
+	"E13": E13,
 }
 
-// IDs returns the experiment ids in numeric order (E1, E2, ..., E10).
+// IDs returns the experiment ids in numeric order (E1, E2, ..., E13).
 func IDs() []string {
 	out := make([]string, 0, len(All))
 	for id := range All {

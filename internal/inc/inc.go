@@ -13,6 +13,11 @@
 // the specification a cold start would, while touching only the states the
 // delta changed (state keys are cached per time point and invalidated by
 // insertion).
+//
+// Parallelism flows through unchanged: when the passed evaluator carries a
+// worker bound (engine.SetParallelism), both the delta propagation and any
+// window growth done here use the parallel schedule, and evaluator clones
+// made while applying a batch inherit the bound.
 package inc
 
 import (

@@ -4,6 +4,7 @@ package randgen
 // pipelines that must agree.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -115,6 +116,101 @@ func TestSpecAnswersMatchDirectOnRandomPrograms(t *testing.T) {
 					g.Args[0] = "nonexistent$"
 					if s.HoldsFact(g) {
 						t.Fatalf("seed %d: spec invents %v", seed, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: the parallel schedule computes the same least model as the
+// sequential engine and the naive T_P baseline at every parallelism
+// level, and its Stats do not depend on the worker count (the schedule
+// is deterministic: counters differ from the sequential Gauss-Seidel
+// sweep by design, but must be bit-identical across n >= 1).
+func TestParallelMatchesSequentialOnRandomPrograms(t *testing.T) {
+	const m = 12
+	for seed := int64(0); seed < trials; seed++ {
+		prog, db := generate(t, seed)
+		seq, err := engine.New(prog, db)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seq.EnsureWindow(m)
+		naive, _, err := baseline.NaiveTP(prog, db, m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		statsFP := ""
+		for _, par := range []int{1, 2, 8} {
+			e, err := engine.New(prog.Clone(), db)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			e.SetParallelism(par)
+			e.EnsureWindow(m)
+			for tm := 0; tm <= m; tm++ {
+				if e.Store().StateKey(tm) != seq.Store().StateKey(tm) {
+					t.Fatalf("seed %d par %d: state differs from sequential at t=%d\nprogram:\n%sdb:\n%sparallel: %v\nsequential: %v",
+						seed, par, tm, prog, db, e.Store().State(tm), seq.Store().State(tm))
+				}
+				if e.Store().StateKey(tm) != naive.StateKey(tm) {
+					t.Fatalf("seed %d par %d: state differs from naive T_P at t=%d\nprogram:\n%sdb:\n%s",
+						seed, par, tm, prog, db)
+				}
+			}
+			if got, want := e.Store().NonTemporalCount(), seq.Store().NonTemporalCount(); got != want {
+				t.Fatalf("seed %d par %d: %d non-temporal facts, sequential has %d", seed, par, got, want)
+			}
+			for _, f := range seq.Store().NonTemporalFacts() {
+				if !e.Holds(f) {
+					t.Fatalf("seed %d par %d: missing non-temporal fact %v", seed, par, f)
+				}
+			}
+			fp := fmt.Sprintf("%+v", e.Stats())
+			if statsFP == "" {
+				statsFP = fp
+			} else if fp != statsFP {
+				t.Fatalf("seed %d: Stats depend on worker count\npar=1: %s\npar=%d: %s", seed, statsFP, par, fp)
+			}
+		}
+	}
+}
+
+// Property: specifications computed under the parallel schedule certify
+// the same period and answer ground queries identically to one computed
+// sequentially — on every program the sequential pipeline can certify.
+func TestParallelSpecAnswersMatchSequentialOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < trials; seed++ {
+		prog, db := generate(t, seed)
+		seq, err := engine.New(prog, db)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s1, err := spec.Compute(seq, 1<<14)
+		if err != nil {
+			continue // exponential-ish period; covered by other tests
+		}
+		m := s1.Period.Base + 2*s1.Period.P + 3
+		seq.EnsureWindow(m)
+		for _, par := range []int{1, 2, 8} {
+			e, err := engine.New(prog.Clone(), db)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			e.SetParallelism(par)
+			s2, err := spec.Compute(e, 1<<14)
+			if err != nil {
+				t.Fatalf("seed %d par %d: sequential certified %v but parallel failed: %v", seed, par, s1.Period, err)
+			}
+			if s1.Period.Base != s2.Period.Base || s1.Period.P != s2.Period.P {
+				t.Fatalf("seed %d par %d: period %v vs sequential %v\nprogram:\n%sdb:\n%s",
+					seed, par, s2.Period, s1.Period, prog, db)
+			}
+			for tm := 0; tm <= m; tm++ {
+				for _, f := range seq.Store().Snapshot(tm) {
+					if !s2.HoldsFact(f) {
+						t.Fatalf("seed %d par %d: spec misses %v\nprogram:\n%sdb:\n%s", seed, par, f, prog, db)
 					}
 				}
 			}

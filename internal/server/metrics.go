@@ -108,6 +108,10 @@ type Metrics struct {
 	Asserts       atomic.Int64 // successful fact-ingestion batches
 	FactsIngested atomic.Int64 // facts new to a database across all ingestions
 
+	// EvalParallelism gauges the configured engine worker bound
+	// (Config.Parallelism; 0 = sequential schedule). Set once at startup.
+	EvalParallelism atomic.Int64
+
 	routes map[string]*routeMetrics
 	// orphan absorbs updates for route names missing from routes, so a
 	// route registered without a metrics slot degrades to uncounted
@@ -144,6 +148,7 @@ type MetricsSnapshot struct {
 	Fallbacks   int64                    `json:"bt_fallbacks"`
 	Asserts     int64                    `json:"asserts"`
 	Ingested    int64                    `json:"facts_ingested"`
+	Parallelism int64                    `json:"eval_parallelism"`
 	Routes      map[string]RouteSnapshot `json:"routes"`
 	// Programs holds per-program engine counters for every warm program;
 	// filled in by the metrics handler from the registry.
@@ -165,6 +170,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Fallbacks:   m.Fallbacks.Load(),
 		Asserts:     m.Asserts.Load(),
 		Ingested:    m.FactsIngested.Load(),
+		Parallelism: m.EvalParallelism.Load(),
 		Routes:      make(map[string]RouteSnapshot, len(m.routes)),
 	}
 	for name, r := range m.routes {

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestParallelIngestWhileQuerying runs the TestIngestConcurrent workload
+// against a server whose evaluators use the parallel engine schedule:
+// HTTP worker concurrency on the outside, the engine worker pool on the
+// inside. Run under -race via scripts/ci.sh. Batches must all land and
+// queries must never error, exactly as in sequential mode.
+func TestParallelIngestWhileQuerying(t *testing.T) {
+	_, ts := newTestServer(t, Config{Parallelism: 4})
+	id := register(t, ts.URL, skiUnit)
+
+	const writers, perWriter, readers = 4, 5, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, (writers+readers)*perWriter)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r := fmt.Sprintf("w%dr%d", w, i)
+				resp, body := postJSON(t, ts.URL+"/programs/"+id+"/facts",
+					factsRequest{Facts: fmt.Sprintf("resort(%s).\nplane(%d, %s).\n", r, (w+i)%10, r)})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("writer %d: status %d: %s", w, resp.StatusCode, body)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				resp, body := postJSON(t, ts.URL+"/programs/"+id+"/ask",
+					askRequest{Query: "plane(0, hunter)"})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: status %d: %s", g, resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			r := fmt.Sprintf("w%dr%d", w, i)
+			if !askServed(t, ts.URL, id, fmt.Sprintf("exists T plane(T, %s)", r)) {
+				t.Fatalf("batch %s lost", r)
+			}
+		}
+	}
+	// The configured worker bound is visible in the metrics snapshot.
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Parallelism != 4 {
+		t.Fatalf("eval_parallelism = %d, want 4", snap.Parallelism)
+	}
+}
+
+// TestParallelServerMatchesSequential registers the same program on a
+// sequential and a parallel server and compares served answers.
+func TestParallelServerMatchesSequential(t *testing.T) {
+	_, seqTS := newTestServer(t, Config{})
+	_, parTS := newTestServer(t, Config{Parallelism: 8})
+	seqID := register(t, seqTS.URL, skiUnit)
+	parID := register(t, parTS.URL, skiUnit)
+	if seqID != parID {
+		t.Fatalf("content hash differs: %s vs %s", seqID, parID)
+	}
+	for _, q := range []string{
+		"plane(0, hunter)",
+		"plane(1000000, hunter)",
+		"exists T plane(T, hunter)",
+		"plane(12345, nosuch)",
+	} {
+		if got, want := askServed(t, parTS.URL, parID, q), askServed(t, seqTS.URL, seqID, q); got != want {
+			t.Fatalf("ask(%q) = %v parallel, %v sequential", q, got, want)
+		}
+	}
+}

@@ -42,6 +42,8 @@ var promScalars = []promMetric{
 		func(m *Metrics) int64 { return m.Asserts.Load() }},
 	{"tddserve_facts_ingested_total", "counter", "Facts new to a database across all ingestions.",
 		func(m *Metrics) int64 { return m.FactsIngested.Load() }},
+	{"tddserve_eval_parallelism", "gauge", "Engine worker bound per evaluation (0 = sequential schedule).",
+		func(m *Metrics) int64 { return m.EvalParallelism.Load() }},
 }
 
 // promLe renders a bucket bound in seconds the way Prometheus clients do

@@ -130,8 +130,9 @@ func resolvedFuture(e *entry) *future {
 // (bounded — a warm entry pins the whole evaluated window). It is safe
 // for concurrent use.
 type Registry struct {
-	maxWindow int
-	metrics   *Metrics
+	maxWindow   int
+	parallelism int
+	metrics     *Metrics
 
 	mu    sync.Mutex
 	progs map[string]*programSource
@@ -142,13 +143,16 @@ type Registry struct {
 }
 
 // NewRegistry builds a registry whose spec cache holds at most cacheSize
-// warm programs; maxWindow (0 = default) bounds period certification.
-func NewRegistry(cacheSize, maxWindow int, m *Metrics) *Registry {
+// warm programs; maxWindow (0 = default) bounds period certification;
+// parallelism (0 = sequential) sets the engine worker bound every
+// compiled program is opened with.
+func NewRegistry(cacheSize, maxWindow, parallelism int, m *Metrics) *Registry {
 	r := &Registry{
-		maxWindow: maxWindow,
-		metrics:   m,
-		progs:     make(map[string]*programSource),
-		writing:   make(map[string]*sync.Mutex),
+		maxWindow:   maxWindow,
+		parallelism: parallelism,
+		metrics:     m,
+		progs:       make(map[string]*programSource),
+		writing:     make(map[string]*sync.Mutex),
 	}
 	r.cache = newLRU[*future](cacheSize, func(string, *future) {
 		m.CacheEvict.Add(1)
@@ -187,6 +191,9 @@ func (r *Registry) compile(src *programSource) (*entry, error) {
 	opts := []tdd.Option{tdd.WithTrace(tr)}
 	if r.maxWindow > 0 {
 		opts = append(opts, tdd.WithMaxWindow(r.maxWindow))
+	}
+	if r.parallelism > 0 {
+		opts = append(opts, tdd.WithParallelism(r.parallelism))
 	}
 	var (
 		db  *tdd.DB

@@ -31,6 +31,12 @@ type Config struct {
 	// MaxWindow bounds period certification per program (0 = engine
 	// default).
 	MaxWindow int
+	// Parallelism, when positive, evaluates each program's fixpoint and
+	// incremental delta propagation on up to this many worker goroutines
+	// (tdd.WithParallelism). 0 — the default — keeps the sequential
+	// engine schedule. Independent of Workers, which bounds concurrent
+	// requests: Workers×Parallelism goroutines can be evaluating at once.
+	Parallelism int
 	// Logger receives structured request logs (default: discard).
 	Logger *slog.Logger
 	// SlowQueryLog, when positive, logs the full phase trace of any ask,
@@ -88,10 +94,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = DefaultConfig(cfg)
 	m := newMetrics(routeNames)
+	m.EvalParallelism.Store(int64(cfg.Parallelism))
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
-		reg:     NewRegistry(cfg.CacheSize, cfg.MaxWindow, m),
+		reg:     NewRegistry(cfg.CacheSize, cfg.MaxWindow, cfg.Parallelism, m),
 		pool:    NewPool(cfg.Workers, cfg.Queue),
 		mux:     http.NewServeMux(),
 	}

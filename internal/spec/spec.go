@@ -14,6 +14,13 @@
 // specifications (Proposition 3.1), so a query over the infinite model can
 // be answered over B after rewriting ground temporal terms to their
 // representatives.
+//
+// Compute works off whatever evaluation schedule the passed evaluator is
+// configured with: under engine.SetParallelism the window grows via the
+// parallel worker-pool sweeps, and because that schedule computes the
+// same least model, the certified period and the specification are
+// identical to the sequential ones (see internal/randgen's differential
+// battery).
 package spec
 
 import (

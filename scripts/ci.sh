@@ -29,11 +29,20 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> engine + differential battery under GOMAXPROCS=1"
+# The parallel schedule must produce identical results whether or not
+# the runtime can actually run workers concurrently; pinning to one
+# scheduler thread exercises the degenerate interleaving.
+GOMAXPROCS=1 go test ./internal/engine/ ./internal/randgen/
+
 echo "==> bench smoke (1 iteration)"
 # One iteration of the trace-overhead benchmark keeps the instrumented
 # engine paths exercised end to end (open, certify, ingest, deep query,
-# both with and without a live trace) without measuring anything.
+# both with and without a live trace) without measuring anything; one
+# iteration of the parallel-fixpoint benchmark does the same for the
+# worker-pool schedule at 1 and NumCPU workers.
 go test -run '^$' -bench '^BenchmarkTraceOverhead$' -benchtime 1x .
+go test -run '^$' -bench '^BenchmarkParallelFixpoint$' -benchtime 1x ./internal/engine/
 
 echo "==> parser fuzz smoke (5s)"
 go test ./internal/parser/ -run '^$' -fuzz '^FuzzParseUnit$' -fuzztime 5s
