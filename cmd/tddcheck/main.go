@@ -9,7 +9,10 @@
 //	tddcheck [-iperiod] [-atoms n] rules.tdd
 //
 // Ground facts in the file are ignored for classification (the classes are
-// properties of rule sets alone).
+// properties of rule sets alone), but not by the trailing lint section,
+// which runs the Tier-A static analyzer (see internal/lint and the tddlint
+// command) over the whole unit — rules and facts — and prints its coded,
+// positioned diagnostics.
 package main
 
 import (
@@ -49,5 +52,19 @@ func run() error {
 		return err
 	}
 	fmt.Print(rep.String())
+
+	// The lint section re-reads the raw unit so positions and inline
+	// suppressions refer to the file as written, not the re-rendered rules.
+	res := tdd.LintUnit(string(src))
+	fmt.Println("lint:")
+	if len(res.Diagnostics) == 0 {
+		fmt.Println("  clean (no findings)")
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Printf("  %s\n", d)
+	}
+	if res.Suppressed > 0 {
+		fmt.Printf("  (%d finding(s) suppressed by tddlint:ignore)\n", res.Suppressed)
+	}
 	return nil
 }

@@ -1,0 +1,82 @@
+// Command tddlint is the repository's two-tier static analyzer.
+//
+// Tier A lints TDD unit files — object-language programs and databases:
+//
+//	tddlint [-json] [-werror] [-max-window n] file.tdd ...
+//
+// Diagnostics are coded (TDL001..TDL106), positioned, and severity-ranked;
+// see internal/lint for the code table and the paper theorems each code
+// leans on. Exit status: 0 clean (infos allowed), 1 findings at error
+// severity (or warnings under -werror), 2 tool failure. Inline
+// suppressions: a `% tddlint:ignore TDL003` comment silences the listed
+// codes (or all codes, with none listed) on its own and the next line.
+//
+// Tier B checks this repository's Go sources for engine-invariant
+// violations (unsorted map iteration on response paths, wall-clock or
+// randomness in fixpoint code, unlocked access to guarded fields). The
+// same binary speaks the go vet wire protocol, so Tier B runs as:
+//
+//	go build -o /tmp/tddlint ./cmd/tddlint
+//	go vet -vettool=/tmp/tddlint ./...
+//
+// The mode is auto-detected from the argument shapes go vet uses
+// (-flags, -V=full, a *.cfg path).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tdd/internal/gocheck"
+	"tdd/internal/lint"
+)
+
+func main() {
+	if gocheck.IsVetInvocation(os.Args[1:]) {
+		os.Exit(gocheck.VetMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(cliMain(os.Args[1:]))
+}
+
+func cliMain(args []string) int {
+	fs := flag.NewFlagSet("tddlint", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	werror := fs.Bool("werror", false, "treat warnings as errors for the exit status")
+	maxWindow := fs.Int("max-window", 0, "certification window budget for the never-fires probe (0 = default)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "tddlint: need at least one unit file")
+		fs.Usage()
+		return 2
+	}
+
+	exit := 0
+	results := make(map[string]lint.Result, fs.NArg())
+	for _, name := range fs.Args() {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tddlint:", err)
+			return 2
+		}
+		res := lint.RunSource(string(src), lint.Options{MaxWindow: *maxWindow})
+		results[name] = res
+		errs, warns, _ := res.Counts()
+		if errs > 0 || (*werror && warns > 0) {
+			exit = 1
+		}
+		if !*asJSON {
+			fmt.Print(res.Format(name))
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "tddlint:", err)
+			return 2
+		}
+	}
+	return exit
+}

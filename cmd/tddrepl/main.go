@@ -13,6 +13,7 @@
 //	:spec                      print the relational specification
 //	:state 42                  print the model state M[42]
 //	:classify                  classify the rule set
+//	:lint                      run the Tier-A static analyzer
 //	:rules                     echo the loaded rules
 //	:help                      this list
 //	:quit                      leave
@@ -44,13 +45,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tddrepl:", err)
 		os.Exit(1)
 	}
-	if err := repl(db, os.Stdin, os.Stdout); err != nil {
+	if err := repl(db, string(src), os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tddrepl:", err)
 		os.Exit(1)
 	}
 }
 
-func repl(db *tdd.DB, in io.Reader, out io.Writer) error {
+func repl(db *tdd.DB, src string, in io.Reader, out io.Writer) error {
 	scanner := bufio.NewScanner(in)
 	fmt.Fprint(out, "tdd> ")
 	for scanner.Scan() {
@@ -61,7 +62,7 @@ func repl(db *tdd.DB, in io.Reader, out io.Writer) error {
 			return nil
 		case line == ":help":
 			fmt.Fprintln(out, "queries: plane(10, hunter) | exists T (p(T) & q(T)) | p(T, X)")
-			fmt.Fprintln(out, "commands: :period :spec :state N :classify :rules :quit")
+			fmt.Fprintln(out, "commands: :period :spec :state N :classify :lint :rules :quit")
 		case line == ":period":
 			p, err := db.Period()
 			if err != nil {
@@ -78,6 +79,17 @@ func repl(db *tdd.DB, in io.Reader, out io.Writer) error {
 			fmt.Fprint(out, s)
 		case line == ":classify":
 			fmt.Fprint(out, db.Classify(false).String())
+		case line == ":lint":
+			res := db.Lint(src)
+			if len(res.Diagnostics) == 0 {
+				fmt.Fprintln(out, "clean (no findings)")
+			}
+			for _, d := range res.Diagnostics {
+				fmt.Fprintln(out, d.String())
+			}
+			if res.Suppressed > 0 {
+				fmt.Fprintf(out, "(%d finding(s) suppressed by tddlint:ignore)\n", res.Suppressed)
+			}
 		case line == ":rules":
 			fmt.Fprint(out, db.Rules())
 		case strings.HasPrefix(line, ":state"):

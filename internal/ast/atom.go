@@ -13,6 +13,11 @@ type Atom struct {
 	Pred string
 	Time *TemporalTerm
 	Args []Symbol
+
+	// Pos is the source position of the atom's predicate symbol, when the
+	// atom came from the parser. It is carried for diagnostics only and is
+	// ignored by Equal.
+	Pos Pos
 }
 
 // TemporalAtom constructs a temporal atom P(time, args...).
@@ -53,7 +58,7 @@ func (a Atom) Depth() int {
 
 // Clone returns a deep copy of the atom.
 func (a Atom) Clone() Atom {
-	c := Atom{Pred: a.Pred}
+	c := Atom{Pred: a.Pred, Pos: a.Pos}
 	if a.Time != nil {
 		t := *a.Time
 		c.Time = &t

@@ -1,0 +1,32 @@
+package ast
+
+import "strconv"
+
+// Pos is a source position (1-based line and column) carried from the
+// parser so validators, classifiers, and the linter can point at the
+// clause or atom a diagnostic concerns. The zero value means "unknown"
+// (e.g. for programmatically constructed rules) and renders empty.
+//
+// Pos is deliberately excluded from structural equality: two atoms or
+// rules that differ only in where they were written are the same object-
+// language term.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Known reports whether the position was actually set by a parser.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+// String renders "line:col" ("line" alone if the column is unknown), or
+// "" for the zero value, matching the file:line:col convention used by
+// compilers once a file name is prefixed.
+func (p Pos) String() string {
+	if p.Line <= 0 {
+		return ""
+	}
+	if p.Col <= 0 {
+		return strconv.Itoa(p.Line)
+	}
+	return strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Col)
+}

@@ -11,11 +11,16 @@ import (
 type Rule struct {
 	Head Atom
 	Body []Atom
+
+	// Pos is the source position of the clause (its head predicate), when
+	// the rule came from the parser. Diagnostics only; structural helpers
+	// ignore it.
+	Pos Pos
 }
 
 // Clone returns a deep copy of the rule.
 func (r Rule) Clone() Rule {
-	c := Rule{Head: r.Head.Clone()}
+	c := Rule{Head: r.Head.Clone(), Pos: r.Pos}
 	c.Body = make([]Atom, len(r.Body))
 	for i, a := range r.Body {
 		c.Body[i] = a.Clone()

@@ -14,6 +14,16 @@ var (
 	ErrSortConflict       = errors.New("variable used in both temporal and non-temporal positions")
 )
 
+// posSuffix renders " at line L:C" for rules that carry a parser
+// position, so validation errors are clickable; programmatically built
+// rules (zero Pos) keep the old message shape.
+func posSuffix(p Pos) string {
+	if !p.Known() {
+		return ""
+	}
+	return " at line " + p.String()
+}
+
 // ValidateRule checks the standing assumptions of the paper for a single
 // rule:
 //
@@ -29,11 +39,11 @@ var (
 //     non-temporal variable.
 func ValidateRule(r Rule) error {
 	if !r.SemiNormal() {
-		return fmt.Errorf("%w: %s", ErrNotSemiNormal, r)
+		return fmt.Errorf("%w: %s%s", ErrNotSemiNormal, r, posSuffix(r.Pos))
 	}
 	for _, a := range r.Atoms() {
 		if a.Time != nil && a.Time.Ground() {
-			return fmt.Errorf("%w: %s", ErrGroundTemporal, r)
+			return fmt.Errorf("%w: %s%s", ErrGroundTemporal, r, posSuffix(r.Pos))
 		}
 	}
 	// Sort discipline.
@@ -46,7 +56,7 @@ func ValidateRule(r Rule) error {
 	for _, a := range r.Atoms() {
 		for _, s := range a.Args {
 			if s.IsVar && tvars[s.Name] {
-				return fmt.Errorf("%w: %s in %s", ErrSortConflict, s.Name, r)
+				return fmt.Errorf("%w: %s in %s%s", ErrSortConflict, s.Name, r, posSuffix(r.Pos))
 			}
 		}
 	}
@@ -64,11 +74,11 @@ func ValidateRule(r Rule) error {
 		}
 	}
 	if r.Head.Time != nil && r.Head.Time.Var != "" && !bodyHasTimeVar {
-		return fmt.Errorf("%w: temporal variable %s of head not in body: %s", ErrNotRangeRestricted, r.Head.Time.Var, r)
+		return fmt.Errorf("%w: temporal variable %s of head not in body: %s%s", ErrNotRangeRestricted, r.Head.Time.Var, r, posSuffix(r.Pos))
 	}
 	for _, s := range r.Head.Args {
 		if s.IsVar && !bodyVars[s.Name] {
-			return fmt.Errorf("%w: variable %s of head not in body: %s", ErrNotRangeRestricted, s.Name, r)
+			return fmt.Errorf("%w: variable %s of head not in body: %s%s", ErrNotRangeRestricted, s.Name, r, posSuffix(r.Pos))
 		}
 	}
 	return nil
@@ -91,7 +101,7 @@ func ValidateForward(r Rule) error {
 	h := s.Head.Time.Depth
 	for _, a := range s.Body {
 		if a.Time != nil && !a.Time.Ground() && a.Time.Depth > h {
-			return fmt.Errorf("%w: %s", ErrNotForward, r)
+			return fmt.Errorf("%w: %s%s", ErrNotForward, r, posSuffix(r.Pos))
 		}
 	}
 	return nil

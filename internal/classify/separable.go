@@ -69,10 +69,19 @@ func MultiSeparable(p *ast.Program) (ok bool, reason string) {
 	}
 	for _, r := range p.Rules {
 		if k := KindOf(r); k == KindOther {
-			return false, fmt.Sprintf("rule %s is recursive but neither time-only nor data-only", r)
+			return false, fmt.Sprintf("rule %s%s is recursive but neither time-only nor data-only", r, atPos(r.Pos))
 		}
 	}
 	return true, ""
+}
+
+// atPos renders " (line L:C)" for rules carrying a parser position, so
+// classification notes point at the offending clause.
+func atPos(p ast.Pos) string {
+	if !p.Known() {
+		return ""
+	}
+	return " (line " + p.String() + ")"
 }
 
 // Separable reports whether the rule set is separable in the stricter
@@ -96,7 +105,7 @@ func Separable(p *ast.Program) (ok bool, reason string) {
 			}
 		}
 		if temporal > 1 {
-			return false, fmt.Sprintf("time-only rule %s has %d temporal body literals", r, temporal)
+			return false, fmt.Sprintf("time-only rule %s%s has %d temporal body literals", r, atPos(r.Pos), temporal)
 		}
 	}
 	return true, ""

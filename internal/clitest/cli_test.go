@@ -165,6 +165,30 @@ func TestCheckIPeriod(t *testing.T) {
 	}
 }
 
+func TestCheckLintSection(t *testing.T) {
+	// Clean program: the lint section says so explicitly.
+	clean := writeFile(t, "even.tdd", evenUnit)
+	out, err := run(t, "tddcheck", clean)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "lint:") || !strings.Contains(out, "clean (no findings)") {
+		t.Errorf("missing clean lint section:\n%s", out)
+	}
+
+	// Dirty program: findings are listed with their codes and positions.
+	dirty := writeFile(t, "dirty.tdd", "p(T+1) :- p(T), q(T).\np(0).\ne(a).\n")
+	out, err = run(t, "tddcheck", dirty)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"TDL001", "TDL002", "TDL003", "1:1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in lint section:\n%s", want, out)
+		}
+	}
+}
+
 func TestBenchQuick(t *testing.T) {
 	out, err := run(t, "tddbench", "-quick", "E3", "E4")
 	if err != nil {
@@ -198,6 +222,7 @@ even(3)
 even(T)
 :period
 :state 2
+:lint
 :help
 :nonsense
 bad query(
@@ -208,7 +233,7 @@ bad query(
 		t.Fatalf("%v\n%s", err, out)
 	}
 	s := string(out)
-	for _, want := range []string{"yes", "no", "T=0", "T=2", "period (b=1, p=2)", "M[2]:", "unknown command", "error:", "commands:"} {
+	for _, want := range []string{"yes", "no", "T=0", "T=2", "period (b=1, p=2)", "M[2]:", "clean (no findings)", "unknown command", "error:", "commands:"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("missing %q in session:\n%s", want, s)
 		}

@@ -130,6 +130,116 @@ func TestServeAskRoundTrip(t *testing.T) {
 	}
 }
 
+func TestServeLintSurface(t *testing.T) {
+	base := startServe(t)
+
+	// A registerable program with deliberate lint findings: q is undefined
+	// (TDL001, warning) which also makes the rule unreachable (TDL003,
+	// warning), and e is an unused db predicate (TDL002, info).
+	dirty := "p(T+1) :- p(T), q(T).\np(0).\ne(a).\n"
+	body, _ := json.Marshal(map[string]string{"unit": dirty})
+	resp, err := http.Post(base+"/programs?lint=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Error("register response lost its X-Trace-Id header")
+	}
+	var reg struct {
+		ID           string `json:"id"`
+		LintWarnings int    `json:"lint_warnings"`
+		Lint         *struct {
+			Diagnostics []struct {
+				Code     string `json:"code"`
+				Severity string `json:"severity"`
+				Line     int    `json:"line"`
+				Message  string `json:"message"`
+			} `json:"diagnostics"`
+		} `json:"lint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d, want 201", resp.StatusCode)
+	}
+	if reg.LintWarnings < 2 {
+		t.Errorf("lint_warnings = %d, want >= 2 (TDL001 + TDL003)", reg.LintWarnings)
+	}
+	if reg.Lint == nil {
+		t.Fatal("?lint=1 register response has no lint payload")
+	}
+	seen := map[string]bool{}
+	for _, d := range reg.Lint.Diagnostics {
+		seen[d.Code] = true
+		if d.Message == "" || d.Severity == "" {
+			t.Errorf("diagnostic %+v missing message or severity", d)
+		}
+	}
+	for _, want := range []string{"TDL001", "TDL002", "TDL003"} {
+		if !seen[want] {
+			t.Errorf("lint payload missing %s (got %v)", want, seen)
+		}
+	}
+
+	// Without ?lint=1 the count is still present but the list is elided.
+	resp, err = http.Post(base+"/programs", "application/json", bytes.NewReader(mustJSON(t, map[string]string{"unit": dirty})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := raw["lint_warnings"]; !ok {
+		t.Error("register response without ?lint=1 lost lint_warnings")
+	}
+	if _, ok := raw["lint"]; ok {
+		t.Error("register response without ?lint=1 should omit the lint list")
+	}
+
+	// The warning total is a first-class metric on both surfaces.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		LintWarnings int64 `json:"lint_warnings"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.LintWarnings < 2 {
+		t.Errorf("/metrics lint_warnings = %d, want >= 2", snap.LintWarnings)
+	}
+
+	resp, err = http.Get(base + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := new(bytes.Buffer)
+	prom.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if !strings.Contains(prom.String(), "tddserve_lint_warnings") {
+		t.Error("/metrics.prom has no tddserve_lint_warnings gauge")
+	}
+	if !strings.Contains(prom.String(), "tddserve_program_lint_warnings") {
+		t.Error("/metrics.prom has no per-program lint gauge")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func TestServePreload(t *testing.T) {
 	file := writeFile(t, "even.tdd", evenUnit)
 	base := startServe(t, file)

@@ -23,6 +23,7 @@ import (
 	"tdd/internal/classify"
 	"tdd/internal/engine"
 	"tdd/internal/inc"
+	"tdd/internal/lint"
 	"tdd/internal/obs"
 	"tdd/internal/period"
 	"tdd/internal/query"
@@ -56,7 +57,7 @@ type BT struct {
 	// mu guards spec and every mutation of eval (window growth, store
 	// inserts, stats, provenance) performed while computing it.
 	mu   sync.Mutex
-	spec *spec.Spec // computed lazily under mu
+	spec *spec.Spec // guarded-by: mu (computed lazily)
 }
 
 // Option configures a BT processor.
@@ -130,6 +131,8 @@ func (b *BT) Specification() (*spec.Spec, error) {
 }
 
 // specification is Specification with mu held.
+//
+//tddlint:holds mu
 func (b *BT) specification() (*spec.Spec, error) {
 	if b.spec != nil {
 		return b.spec, nil
@@ -160,6 +163,24 @@ func b2i(v bool) int64 {
 		return 1
 	}
 	return 0
+}
+
+// Lint runs the Tier-A static analyzer over the processor's program and
+// database. It runs under mu: the never-fires probe joins rule bodies
+// against the certified model and may grow the evaluated window, which
+// must not race concurrent queries. The certified specification is reused
+// when available (or certifiable), so on a warm BT linting adds no
+// re-evaluation; when certification fails the semantic probe is skipped
+// and the structural passes still run. source, when non-empty, is the raw
+// unit text inline "tddlint:ignore" suppressions are read from.
+func (b *BT) Lint(source string) lint.Result {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	opts := lint.Options{Source: source, MaxWindow: b.maxWindow}
+	if s, err := b.specification(); err == nil {
+		opts.Spec = s
+	}
+	return lint.Run(b.eval.Program(), b.eval.Database(), opts)
 }
 
 // Period returns the certified minimal period of the least model.

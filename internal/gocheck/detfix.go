@@ -1,0 +1,63 @@
+package gocheck
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// DetFix bans wall-clock time and randomness in fixpoint code: the
+// "time", "math/rand", and "math/rand/v2" imports are forbidden in
+// internal/engine and internal/core. The engine's results, Stats, and
+// derivation order are part of its contract (bit-identical across worker
+// counts and runs); a time.Now branch or rand tie-break would make the
+// fixpoint's output depend on the machine, which the differential tests
+// could only catch probabilistically. Banning the import bans every use.
+// (Timing belongs in internal/obs and the server layer, which are free to
+// import time.)
+var DetFix = &Analyzer{
+	Name: "detfix",
+	Doc:  "forbid time and math/rand imports in fixpoint packages (determinism contract)",
+	AppliesTo: func(path string) bool {
+		return underTDD(path, "tdd/internal/engine", "tdd/internal/core")
+	},
+	Run: runDetFix,
+}
+
+var detFixBanned = map[string]string{
+	"time":         "wall-clock time",
+	"math/rand":    "randomness",
+	"math/rand/v2": "randomness",
+}
+
+func runDetFix(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			why, banned := detFixBanned[path]
+			if !banned {
+				continue
+			}
+			p.Reportf(imp.Pos(), "import of %q brings %s into fixpoint code; the engine's output must be deterministic across runs and worker counts", path, why)
+		}
+		// Belt and braces: a dot-import or renamed import still surfaces
+		// as the path above, but also flag direct selector uses in case a
+		// future refactor routes them through an allowed wrapper import.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "time" && sel.Sel.Name == "Now" {
+				p.Reportf(sel.Pos(), "time.Now in fixpoint code; derive timestamps outside internal/engine and internal/core")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,256 @@
+package gocheck
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintFixture writes src as a one-file package in a temp dir, runs the
+// suite against importPath, and returns the findings' analyzer names.
+func lintFixture(t *testing.T, importPath, src string) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunFiles(importPath, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func analyzers(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer)
+	}
+	return out
+}
+
+func TestMapRangeFlagsUnsortedAppend(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/engine", `package engine
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	if got := analyzers(diags); len(got) != 1 || got[0] != "maprange" {
+		t.Fatalf("diagnostics = %v, want one maprange finding", diags)
+	}
+}
+
+func TestMapRangeAllowsSortedFunction(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/engine", `package engine
+import "sort"
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("sorted function flagged: %v", diags)
+	}
+}
+
+func TestMapRangeWaiver(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/server", `package server
+func collect(m map[string]int) []string {
+	var out []string
+	//tddlint:unordered
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("waived range flagged: %v", diags)
+	}
+}
+
+func TestMapRangeScopedToResponsePackages(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/obs", `package obs
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+}
+
+func TestDetFixBansTimeImportInFixpointCode(t *testing.T) {
+	src := `package engine
+import "time"
+func now() time.Time { return time.Now() }
+`
+	diags := lintFixture(t, "tdd/internal/engine", src)
+	if len(diags) < 2 {
+		t.Fatalf("diagnostics = %v, want import + time.Now findings", diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "detfix" {
+			t.Errorf("unexpected analyzer %q", d.Analyzer)
+		}
+	}
+	// The same file is fine outside the fixpoint packages.
+	if out := lintFixture(t, "tdd/internal/obs", strings.Replace(src, "package engine", "package obs", 1)); len(out) != 0 {
+		t.Fatalf("obs may import time, got %v", out)
+	}
+}
+
+func TestDetFixBansMathRand(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/core", `package core
+import "math/rand"
+func pick() int { return rand.Int() }
+`)
+	if got := analyzers(diags); len(got) != 1 || got[0] != "detfix" {
+		t.Fatalf("diagnostics = %v, want one detfix finding", diags)
+	}
+}
+
+const guardedStruct = `package core
+import "sync"
+type box struct {
+	mu  sync.Mutex
+	val int // guarded-by: mu
+}
+`
+
+func TestGuardedByFlagsUnlockedAccess(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/core", guardedStruct+`
+func (b *box) peek() int { return b.val }
+`)
+	if got := analyzers(diags); len(got) != 1 || got[0] != "guardedby" {
+		t.Fatalf("diagnostics = %v, want one guardedby finding", diags)
+	}
+}
+
+func TestGuardedByAcceptsLockAndHoldsAnnotation(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/core", guardedStruct+`
+func (b *box) get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val
+}
+
+// getLocked returns the value.
+//
+//tddlint:holds mu
+func (b *box) getLocked() int { return b.val }
+`)
+	if len(diags) != 0 {
+		t.Fatalf("locked/annotated access flagged: %v", diags)
+	}
+}
+
+func TestVetMainProtocol(t *testing.T) {
+	var out, errOut strings.Builder
+
+	if code := VetMain([]string{"-flags"}, &out, &errOut); code != 0 || strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("-flags: code %d out %q", code, out.String())
+	}
+	out.Reset()
+	if code := VetMain([]string{"-V=full"}, &out, &errOut); code != 0 || !strings.HasPrefix(out.String(), "tddlint version ") {
+		t.Fatalf("-V=full: code %d out %q", code, out.String())
+	}
+
+	// A VetxOnly dependency package: must create the facts file and stay
+	// silent even if its sources would trip a checker.
+	dir := t.TempDir()
+	src := filepath.Join(dir, "dep.go")
+	if err := os.WriteFile(src, []byte("package dep\nimport _ \"time\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "dep.vetx")
+	cfg := filepath.Join(dir, "vet.cfg")
+	writeCfg := func(importPath string, vetxOnly bool) {
+		b, err := json.Marshal(map[string]any{
+			"ImportPath": importPath,
+			"GoFiles":    []string{src},
+			"VetxOnly":   vetxOnly,
+			"VetxOutput": vetx,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cfg, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	writeCfg("tdd/internal/engine", true)
+	errOut.Reset()
+	if code := VetMain([]string{cfg}, &out, &errOut); code != 0 {
+		t.Fatalf("VetxOnly pass: code %d stderr %q", code, errOut.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not created: %v", err)
+	}
+
+	// The same package analyzed for real: detfix fires, exit 2, finding on
+	// stderr.
+	os.Remove(vetx)
+	writeCfg("tdd/internal/engine", false)
+	errOut.Reset()
+	if code := VetMain([]string{cfg}, &out, &errOut); code != 2 {
+		t.Fatalf("analysis pass: code %d stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "detfix") {
+		t.Fatalf("stderr %q does not name detfix", errOut.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not created on diagnostic exit: %v", err)
+	}
+
+	// Foreign packages are skipped entirely.
+	writeCfg("example.com/other", false)
+	errOut.Reset()
+	if code := VetMain([]string{cfg}, &out, &errOut); code != 0 {
+		t.Fatalf("foreign package: code %d stderr %q", code, errOut.String())
+	}
+}
+
+func TestIsVetInvocation(t *testing.T) {
+	for _, args := range [][]string{{"-flags"}, {"-V=full"}, {"/tmp/x/vet.cfg"}} {
+		if !IsVetInvocation(args) {
+			t.Errorf("IsVetInvocation(%v) = false", args)
+		}
+	}
+	for _, args := range [][]string{{}, {"file.tdd"}, {"-json", "file.tdd"}} {
+		if IsVetInvocation(args) {
+			t.Errorf("IsVetInvocation(%v) = true", args)
+		}
+	}
+}
+
+func TestRunFilesSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture_test.go")
+	if err := os.WriteFile(path, []byte("package engine\nimport _ \"time\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunFiles("tdd/internal/engine", []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("test file analyzed: %v", diags)
+	}
+}

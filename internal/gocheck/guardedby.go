@@ -1,0 +1,179 @@
+package gocheck
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GuardedBy enforces a lock-annotation convention on struct fields: a
+// field whose doc or line comment contains `guarded-by: <mu>` may only be
+// accessed through the receiver inside methods that either lock
+// `recv.<mu>` (Lock or RLock anywhere in the method — acquisition order
+// and release are the race detector's job, presence is lint's) or are
+// annotated `//tddlint:holds <mu>` in their doc comment, for helpers
+// documented as called with the lock held.
+//
+// The check is syntactic and method-scoped: it inspects methods whose
+// receiver type declares the annotated field and flags `recv.field`
+// accesses in unlocked, unannotated methods. Access through aliases or
+// from other packages is out of scope (the fields are unexported, so
+// other packages cannot touch them anyway).
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "flag access to `guarded-by: mu` fields outside a method that locks mu or is annotated tddlint:holds",
+	AppliesTo: func(path string) bool {
+		return underTDD(path, "tdd")
+	},
+	Run: runGuardedBy,
+}
+
+func runGuardedBy(p *Pass) {
+	// guards maps struct type name -> field name -> mutex field name.
+	guards := make(map[string]map[string]string)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, sp := range gd.Specs {
+				ts, ok := sp.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					mu := guardAnnotation(field)
+					if mu == "" {
+						continue
+					}
+					if guards[ts.Name.Name] == nil {
+						guards[ts.Name.Name] = make(map[string]string)
+					}
+					for _, name := range field.Names {
+						guards[ts.Name.Name][name.Name] = mu
+					}
+				}
+			}
+		}
+	}
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recvField := fn.Recv.List[0]
+			typeName := receiverTypeName(recvField.Type)
+			fieldGuards, guarded := guards[typeName]
+			if !guarded || len(recvField.Names) == 0 {
+				continue
+			}
+			recv := recvField.Names[0].Name
+			held := holdsAnnotations(fn)
+			for mu := range lockedMutexes(fn, recv) {
+				held[mu] = true
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok || x.Name != recv {
+					return true
+				}
+				mu, guarded := fieldGuards[sel.Sel.Name]
+				if !guarded || held[mu] {
+					return true
+				}
+				p.Reportf(sel.Pos(), "%s.%s is guarded-by: %s but %s neither locks %s.%s nor is annotated //tddlint:holds %s", recv, sel.Sel.Name, mu, fn.Name.Name, recv, mu, mu)
+				return true
+			})
+		}
+	}
+}
+
+// guardAnnotation extracts the mutex name from a field's `guarded-by:`
+// doc or line comment, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if i := strings.Index(c.Text, "guarded-by:"); i >= 0 {
+				rest := strings.TrimSpace(c.Text[i+len("guarded-by:"):])
+				if j := strings.IndexAny(rest, " \t.,;"); j >= 0 {
+					rest = rest[:j]
+				}
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// holdsAnnotations reads `tddlint:holds mu1 mu2` from the method's doc
+// comment.
+func holdsAnnotations(fn *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	if fn.Doc == nil {
+		return out
+	}
+	for _, c := range fn.Doc.List {
+		i := strings.Index(c.Text, "tddlint:holds")
+		if i < 0 {
+			continue
+		}
+		for _, mu := range strings.Fields(c.Text[i+len("tddlint:holds"):]) {
+			out[mu] = true
+		}
+	}
+	return out
+}
+
+// lockedMutexes finds every `recv.<mu>.Lock()` / `RLock()` call in the
+// method and returns the set of mu names.
+func lockedMutexes(fn *ast.FuncDecl, recv string) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if x, ok := inner.X.(*ast.Ident); ok && x.Name == recv {
+			out[inner.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// receiverTypeName unwraps *T, T, and generic receivers to the bare type
+// name.
+func receiverTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return receiverTypeName(t.X)
+	}
+	return ""
+}

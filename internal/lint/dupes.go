@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tdd/internal/ast"
+)
+
+// checkDuplicates flags rules alpha-equivalent to an earlier rule
+// (TDL005). Equivalence is canonical renaming by first occurrence —
+// temporal variables to T0, T1, ..., non-temporal variables to V0, V1,
+// ... in order of appearance — with body order preserved. Permuted-body
+// duplicates are intentionally not caught: body order carries no
+// semantics, but proving permutation equivalence cheaply and soundly is
+// not worth the risk of a wrong delete-safety claim.
+func checkDuplicates(prog *ast.Program) []Diagnostic {
+	var ds []Diagnostic
+	first := make(map[string]int)
+	for i, r := range prog.Rules {
+		key := canonicalRule(r)
+		j, dup := first[key]
+		if !dup {
+			first[key] = i
+			continue
+		}
+		at := fmt.Sprintf("rule #%d", j+1)
+		if prog.Rules[j].Pos.Known() {
+			at = "the rule at line " + prog.Rules[j].Pos.String()
+		}
+		ds = append(ds, Diagnostic{
+			Code:       "TDL005",
+			Severity:   Warning,
+			Line:       r.Pos.Line,
+			Col:        r.Pos.Col,
+			Message:    fmt.Sprintf("duplicate rule: alpha-equivalent to %s", at),
+			Rule:       r.String(),
+			RuleIdx:    i,
+			Theorem:    "least-model semantics: a duplicate rule derives nothing new",
+			DeleteSafe: true,
+		})
+	}
+	return ds
+}
+
+// canonicalRule renders the rule with variables renamed by first
+// occurrence, so alpha-equivalent rules collide.
+func canonicalRule(r ast.Rule) string {
+	tnames := make(map[string]string)
+	vnames := make(map[string]string)
+	var b strings.Builder
+	atom := func(a ast.Atom) {
+		b.WriteString(a.Pred)
+		b.WriteByte('(')
+		if a.Time != nil {
+			if a.Time.Var != "" {
+				t, ok := tnames[a.Time.Var]
+				if !ok {
+					t = "T" + strconv.Itoa(len(tnames))
+					tnames[a.Time.Var] = t
+				}
+				b.WriteString(t)
+			}
+			b.WriteByte('+')
+			b.WriteString(strconv.Itoa(a.Time.Depth))
+		}
+		for _, s := range a.Args {
+			b.WriteByte('|')
+			if !s.IsVar {
+				b.WriteString("c:")
+				b.WriteString(s.Name)
+				continue
+			}
+			v, ok := vnames[s.Name]
+			if !ok {
+				v = "V" + strconv.Itoa(len(vnames))
+				vnames[s.Name] = v
+			}
+			b.WriteString(v)
+		}
+		b.WriteByte(')')
+	}
+	atom(r.Head)
+	b.WriteString(":-")
+	for _, a := range r.Body {
+		atom(a)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// checkShiftable flags rules whose temporal depths share a positive
+// common offset (TDL006): p(T+3) :- q(T+1) only ever reads state T+1 and
+// only derives at times >= 3, leaving a leading gap the author may not
+// have intended. Informational — the engine evaluates the rule exactly as
+// written, and lowering the depths is NOT a semantic no-op (it fills in
+// the early time points), which is why the linter explains rather than
+// rewrites.
+func checkShiftable(prog *ast.Program) []Diagnostic {
+	var ds []Diagnostic
+	for i, r := range prog.Rules {
+		k := r.MinDepth()
+		if k <= 0 {
+			continue
+		}
+		ds = append(ds, Diagnostic{
+			Code:     "TDL006",
+			Severity: Info,
+			Line:     r.Pos.Line,
+			Col:      r.Pos.Col,
+			Message:  fmt.Sprintf("every temporal term has depth >= %d; the rule derives nothing before time %d — shift all depths down by %d if that gap is unintended (not a semantic no-op)", k, headDepthOfOriginal(r), k),
+			Rule:     r.String(),
+			RuleIdx:  i,
+			Theorem:  "Section 3.1 (depth conventions); cf. Rule.ShiftNormalize",
+		})
+	}
+	return ds
+}
+
+// headDepthOfOriginal is the un-normalized head depth (where the rule's
+// first derivable time point lies).
+func headDepthOfOriginal(r ast.Rule) int {
+	if r.Head.Time == nil || r.Head.Time.Ground() {
+		return 0
+	}
+	return r.Head.Time.Depth
+}

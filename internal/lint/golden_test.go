@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestGolden locks both renderings of every diagnostic code: the human
+// text (one line per finding, compiler convention) and the JSON wire shape
+// served by tddserve's ?lint=1. Each testdata/*.tdd is an intentionally
+// dirty program exercising one code (its name says which); the goldens are
+// regenerated with `go test ./internal/lint -run Golden -update`.
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.tdd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata/*.tdd fixtures")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".tdd")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := RunSource(string(src), Options{})
+
+			text := res.Format(name + ".tdd")
+			compareGolden(t, filepath.Join("testdata", name+".golden"), []byte(text))
+
+			js, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, filepath.Join("testdata", name+".json"), append(js, '\n'))
+		})
+	}
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("golden mismatch for %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenCodesCovered checks the fixture set stays honest: every
+// diagnostic code the linter can emit from source appears in at least one
+// golden, so a new code cannot ship without a rendered example. TDL105 is
+// absent by construction — the parser's sort resolution rejects every
+// textual sort conflict as TDL100 first — and is covered by
+// TestSortConflictCode on a programmatically built rule.
+func TestGoldenCodesCovered(t *testing.T) {
+	codes := []string{
+		"TDL001", "TDL002", "TDL003", "TDL004", "TDL005", "TDL006",
+		"TDL010", "TDL011", "TDL012", "TDL100",
+		"TDL101", "TDL102", "TDL103", "TDL104",
+	}
+	goldens, err := filepath.Glob(filepath.Join("testdata", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all strings.Builder
+	for _, g := range goldens {
+		b, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all.Write(b)
+	}
+	for _, c := range codes {
+		if !strings.Contains(all.String(), c) {
+			t.Errorf("no golden fixture emits %s", c)
+		}
+	}
+}

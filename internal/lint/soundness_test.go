@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tdd/internal/ast"
+	"tdd/internal/engine"
+	"tdd/internal/parser"
+	"tdd/internal/randgen"
+	"tdd/internal/spec"
+)
+
+// TestDeleteSafeSoundnessRandom is the linter's differential soundness
+// battery: over 60 random programs the linter must never panic, and
+// deleting every rule it marked delete-safe (TDL003 unreachable, TDL004
+// never-fires, TDL005 duplicate — after the certification-parameter
+// guard) must leave the certified period, every model state, and the
+// non-temporal consequences bit-identical. The oracle is the sequential
+// engine evaluated from scratch on the reduced program.
+func TestDeleteSafeSoundnessRandom(t *testing.T) {
+	const trials = 60
+	flagged := 0
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgen.New(rng, randgen.Default())
+		prog, err := g.Program(rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		db, err := g.Database(rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if checkDeleteSafety(t, prog, db) {
+			flagged++
+		}
+	}
+	// The battery is only meaningful if some trials actually flag rules;
+	// with the default generator a fair share of programs contain dead or
+	// never-firing rules. Guard against the generator drifting to a shape
+	// the linter never flags, which would make this test vacuous.
+	if flagged == 0 {
+		t.Fatal("no random trial produced a delete-safe finding; battery is vacuous")
+	}
+	t.Logf("delete-safe findings in %d/%d random trials", flagged, trials)
+}
+
+// TestDeleteSafeSoundnessCrafted pins the battery's floor with programs
+// known to trigger each delete-safe code.
+func TestDeleteSafeSoundnessCrafted(t *testing.T) {
+	units := []string{
+		// TDL003: r/s unreachable.
+		"p(T+1) :- p(T).\nr(T+1) :- s(T).\ns(T+1) :- r(T).\np(0).\n",
+		// TDL004: p holds only at even times, r only at 1.
+		"p(T+2) :- p(T).\nq(T+1) :- p(T), r(T).\np(0).\nr(1).\n",
+		// TDL005: alpha-equivalent duplicate.
+		"p(T+1) :- p(T), e(X).\np(S+1) :- p(S), e(Y).\np(0).\ne(a).\n",
+		// Mixed: an unreachable deep rule whose deletion would change the
+		// lookback — the guard must withhold delete-safety rather than
+		// let the period drift.
+		"p(T+1) :- p(T).\nq(T+5) :- z(T).\np(0).\n",
+	}
+	flagged := 0
+	for i, src := range units {
+		prog, db, err := parser.ParseUnit(src)
+		if err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+		if checkDeleteSafety(t, prog, db) {
+			flagged++
+		}
+	}
+	if flagged < 3 {
+		t.Errorf("only %d crafted units produced delete-safe findings, want >= 3", flagged)
+	}
+}
+
+// checkDeleteSafety lints (prog, db), deletes the delete-safe rules, and
+// compares the full and reduced pipelines. Reports whether anything was
+// flagged delete-safe.
+func checkDeleteSafety(t *testing.T, prog *ast.Program, db *ast.Database) bool {
+	t.Helper()
+	const maxWindow = 4096
+	res := Run(prog, db, Options{MaxWindow: maxWindow})
+	dels := res.DeleteSafeRules()
+	if len(dels) == 0 {
+		return false
+	}
+	drop := make(map[int]bool, len(dels))
+	for _, i := range dels {
+		drop[i] = true
+	}
+	kept := make([]ast.Rule, 0, len(prog.Rules))
+	for i, r := range prog.Rules {
+		if !drop[i] {
+			kept = append(kept, r)
+		}
+	}
+	reduced, err := ast.NewProgram(kept)
+	if err != nil {
+		t.Fatalf("reduced program invalid: %v\nfull:\n%s", err, prog)
+	}
+
+	full := certify(t, prog, db, maxWindow)
+	red := certify(t, reduced, db, maxWindow)
+	if full == nil || red == nil {
+		// Not certifiable within the budget either way; the linter's
+		// never-fires probe was skipped for the same reason, so nothing
+		// semantic was claimed. Deleting TDL003/TDL005 rules is still
+		// model-safe, but there is no period to compare against.
+		if (full == nil) != (red == nil) {
+			t.Fatalf("certifiability changed after deletion (full=%v reduced=%v)\nfull:\n%sdeleted: %v", full != nil, red != nil, prog, dels)
+		}
+		return true
+	}
+
+	if full.Period != red.Period {
+		t.Fatalf("period changed: full %v, reduced %v\nprogram:\n%sdb:\n%sdeleted: %v",
+			full.Period, red.Period, prog, db, dels)
+	}
+	limit := full.Period.Base + full.Period.P + lookbackOf(prog.Rules) + 2
+	fe, re := full.Evaluator(), red.Evaluator()
+	fe.EnsureWindow(limit)
+	re.EnsureWindow(limit)
+	for tm := 0; tm <= limit; tm++ {
+		if fe.Store().StateKey(tm) != re.Store().StateKey(tm) {
+			t.Fatalf("model states differ at t=%d\nprogram:\n%sdb:\n%sdeleted: %v\nfull:    %v\nreduced: %v",
+				tm, prog, db, dels, fe.Store().State(tm), re.Store().State(tm))
+		}
+	}
+	if fk, rk := factKeys(fe.Store().NonTemporalFacts()), factKeys(re.Store().NonTemporalFacts()); fk != rk {
+		t.Fatalf("non-temporal consequences differ\nfull:    %s\nreduced: %s\nprogram:\n%sdeleted: %v", fk, rk, prog, dels)
+	}
+	return true
+}
+
+// certify evaluates (prog, db) from scratch on the sequential engine and
+// certifies its specification; nil when the period is not certifiable
+// within the window budget.
+func certify(t *testing.T, prog *ast.Program, db *ast.Database, maxWindow int) *spec.Spec {
+	t.Helper()
+	e, err := engine.New(prog.Clone(), db.Clone())
+	if err != nil {
+		t.Fatalf("engine: %v\nprogram:\n%s", err, prog)
+	}
+	s, err := spec.Compute(e, maxWindow)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+func factKeys(fs []ast.Fact) string {
+	keys := make([]string, 0, len(fs))
+	for _, f := range fs {
+		keys = append(keys, f.String())
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + ";"
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"errors"
+
+	"tdd/internal/parser"
+)
+
+// RunSource parses a unit source (rules, facts, and directives mixed) and
+// lints it with inline suppressions honored. A parse or sort failure
+// becomes a single TDL100 diagnostic at the failing position rather than
+// an error: the linter's contract is that every input yields a Result.
+func RunSource(src string, opts Options) Result {
+	prog, db, err := parser.ParseUnit(src)
+	if err != nil {
+		d := Diagnostic{Code: "TDL100", Severity: Error, Message: err.Error(), RuleIdx: -1}
+		var perr *parser.Error
+		if errors.As(err, &perr) {
+			d.Line, d.Col = perr.Line, perr.Col
+		}
+		res := Result{Diagnostics: []Diagnostic{d}}
+		if src != "" {
+			res = suppress(res, src)
+		}
+		return res
+	}
+	opts.Source = src
+	return Run(prog, db, opts)
+}

@@ -1,0 +1,74 @@
+package lint
+
+import "strings"
+
+// marker introduces an inline suppression inside a TDD comment:
+//
+//	% tddlint:ignore TDL003 TDL001   -- reason (prose is ignored)
+//	p(T+1, X) :- q(T, X).            % tddlint:ignore TDL006
+//
+// A suppression silences the listed codes (or, with no codes, every code)
+// for findings on its own line and on the following line, so it can sit
+// beside the clause or on the line above it.
+const marker = "tddlint:ignore"
+
+// suppress filters res against the inline suppressions of src, counting
+// what it removed. Findings without a position are never suppressed.
+func suppress(res Result, src string) Result {
+	byLine := suppressions(src)
+	if len(byLine) == 0 {
+		return res
+	}
+	kept := res.Diagnostics[:0]
+	for _, d := range res.Diagnostics {
+		if d.Line > 0 && (byLine[d.Line].covers(d.Code) || byLine[d.Line-1].covers(d.Code)) {
+			res.Suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	res.Diagnostics = kept
+	return res
+}
+
+// suppression is the parsed form of one marker comment.
+type suppression struct {
+	all   bool
+	codes map[string]bool
+}
+
+func (s suppression) covers(code string) bool { return s.all || s.codes[code] }
+
+// suppressions scans raw source text for marker comments. The lexer
+// strips comments before the parser sees them, so this is a plain text
+// scan: the marker counts only when a comment token ('%' or "//")
+// precedes it on the line.
+func suppressions(src string) map[int]suppression {
+	var out map[int]suppression
+	for lineNo, line := range strings.Split(src, "\n") {
+		idx := strings.Index(line, marker)
+		if idx < 0 {
+			continue
+		}
+		pct := strings.Index(line, "%")
+		slash := strings.Index(line, "//")
+		if (pct < 0 || pct > idx) && (slash < 0 || slash > idx) {
+			continue
+		}
+		s := suppression{codes: make(map[string]bool)}
+		for _, f := range strings.FieldsFunc(line[idx+len(marker):], func(r rune) bool { return r == ' ' || r == '\t' || r == ',' }) {
+			if !strings.HasPrefix(f, "TDL") {
+				break
+			}
+			s.codes[f] = true
+		}
+		if len(s.codes) == 0 {
+			s.all = true
+		}
+		if out == nil {
+			out = make(map[int]suppression)
+		}
+		out[lineNo+1] = s
+	}
+	return out
+}

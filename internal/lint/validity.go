@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+
+	"tdd/internal/ast"
+)
+
+// codeOf maps a validator sentinel to its diagnostic code and the paper
+// anchor explaining why the property is required.
+func codeOf(err error) (code, theorem string) {
+	switch {
+	case errors.Is(err, ast.ErrNotRangeRestricted):
+		return "TDL101", "Section 3.3 (range restriction keeps specifications finite)"
+	case errors.Is(err, ast.ErrNotSemiNormal):
+		return "TDL102", "Section 3.2 (semi-normal rules: one temporal variable)"
+	case errors.Is(err, ast.ErrNotForward):
+		return "TDL103", "forward rules: bottom-up evaluation in time order is sound"
+	case errors.Is(err, ast.ErrGroundTemporal):
+		return "TDL104", "Section 3.1 (rules contain no ground terms)"
+	case errors.Is(err, ast.ErrSortConflict):
+		return "TDL105", "Section 3.1 (two-sorted language)"
+	}
+	return "TDL106", ""
+}
+
+// checkValidity re-runs the per-rule validators so every invalid rule gets
+// its own positioned, coded diagnostic (ast.ValidateProgram stops at the
+// first). Signature consistency across rules is checked once at the end.
+// Sets *valid to false when anything fails, which gates the passes that
+// need a well-formed program.
+func checkValidity(prog *ast.Program, valid *bool) []Diagnostic {
+	var ds []Diagnostic
+	fail := func(i int, r ast.Rule, err error) {
+		*valid = false
+		code, theorem := codeOf(err)
+		ds = append(ds, Diagnostic{
+			Code:     code,
+			Severity: Error,
+			Line:     r.Pos.Line,
+			Col:      r.Pos.Col,
+			Message:  err.Error(),
+			Rule:     r.String(),
+			RuleIdx:  i,
+			Theorem:  theorem,
+		})
+	}
+	for i, r := range prog.Rules {
+		if len(r.Body) == 0 {
+			fail(i, r, fmt.Errorf("unit clause %s: ground facts belong in the database", r))
+			continue
+		}
+		if err := ast.ValidateRule(r); err != nil {
+			fail(i, r, err)
+			continue
+		}
+		if err := ast.ValidateForward(r); err != nil {
+			fail(i, r, err)
+		}
+	}
+	if _, err := ast.NewProgram(prog.Rules); err != nil {
+		*valid = false
+		ds = append(ds, Diagnostic{
+			Code:     "TDL106",
+			Severity: Error,
+			Message:  err.Error(),
+			RuleIdx:  -1,
+		})
+	}
+	return ds
+}

@@ -1,0 +1,96 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"tdd/internal/ast"
+)
+
+// TestRuleAndAtomPositions pins the 1-based line:col convention threaded
+// from the lexer into ast nodes: a rule's position is its head predicate's
+// token, an atom's position is its own predicate token.
+func TestRuleAndAtomPositions(t *testing.T) {
+	src := "p(T+1) :- p(T), q(T).\n\n  r(T+2) :- q(T+1).\np(0).\nq(0).\n"
+	prog, _, err := ParseUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(prog.Rules))
+	}
+
+	r0 := prog.Rules[0]
+	if r0.Pos != (ast.Pos{Line: 1, Col: 1}) {
+		t.Errorf("rule 0 pos = %v, want 1:1", r0.Pos)
+	}
+	if r0.Head.Pos != (ast.Pos{Line: 1, Col: 1}) {
+		t.Errorf("rule 0 head pos = %v, want 1:1", r0.Head.Pos)
+	}
+	// "p(T+1) :- p(T), q(T)." — body p at col 11, q at col 17.
+	if r0.Body[0].Pos != (ast.Pos{Line: 1, Col: 11}) {
+		t.Errorf("rule 0 body[0] pos = %v, want 1:11", r0.Body[0].Pos)
+	}
+	if r0.Body[1].Pos != (ast.Pos{Line: 1, Col: 17}) {
+		t.Errorf("rule 0 body[1] pos = %v, want 1:17", r0.Body[1].Pos)
+	}
+
+	// Rule 2 starts on line 3 after two leading spaces: col 3.
+	r1 := prog.Rules[1]
+	if r1.Pos != (ast.Pos{Line: 3, Col: 3}) {
+		t.Errorf("rule 1 pos = %v, want 3:3", r1.Pos)
+	}
+}
+
+// TestPositionsSurviveClone checks Clone carries positions (diagnostics
+// run on clones) and Equal ignores them (two parses of the same atom from
+// different positions still compare equal).
+func TestPositionsSurviveClone(t *testing.T) {
+	prog, _, err := ParseUnit("p(T+1) :- p(T).\np(0).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Clone()
+	if c.Rules[0].Pos != prog.Rules[0].Pos {
+		t.Errorf("clone rule pos = %v, want %v", c.Rules[0].Pos, prog.Rules[0].Pos)
+	}
+	if c.Rules[0].Head.Pos != prog.Rules[0].Head.Pos {
+		t.Errorf("clone head pos = %v, want %v", c.Rules[0].Head.Pos, prog.Rules[0].Head.Pos)
+	}
+
+	a := prog.Rules[0].Head
+	b := a.Clone()
+	b.Pos = ast.Pos{Line: 99, Col: 42}
+	if !a.Equal(b) {
+		t.Error("Equal must ignore Pos")
+	}
+}
+
+// TestValidationErrorCarriesPosition checks validator errors are anchored
+// at the offending rule, not the file start.
+func TestValidationErrorCarriesPosition(t *testing.T) {
+	src := "p(T+1) :- p(T).\nq(T+1, X) :- q(T, Y).\np(0).\nq(0, a).\n"
+	prog, _, err := ParseUnit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := ast.ValidateRule(prog.Rules[1])
+	if verr == nil {
+		t.Fatal("want range-restriction error")
+	}
+	if !strings.Contains(verr.Error(), "at line 2:1") {
+		t.Errorf("error %q does not name line 2:1", verr)
+	}
+}
+
+// TestZeroPosIsUnknown locks the zero-value convention: programmatically
+// built nodes have no position and render without one.
+func TestZeroPosIsUnknown(t *testing.T) {
+	var p ast.Pos
+	if p.Known() {
+		t.Error("zero Pos must be unknown")
+	}
+	if got := (ast.Pos{Line: 3, Col: 7}).String(); got != "3:7" {
+		t.Errorf("String = %q, want 3:7", got)
+	}
+}

@@ -145,13 +145,17 @@ func (s *sorter) buildAtom(ci int, a rawAtom) (ast.Atom, error) {
 		if err != nil {
 			return ast.Atom{}, err
 		}
-		return ast.TemporalAtom(a.pred, tt, rest...), nil
+		out := ast.TemporalAtom(a.pred, tt, rest...)
+		out.Pos = ast.Pos{Line: a.line, Col: a.col}
+		return out, nil
 	}
 	args, err := s.buildArgs(ci, a.pred, a.args)
 	if err != nil {
 		return ast.Atom{}, err
 	}
-	return ast.NonTemporalAtom(a.pred, args...), nil
+	out := ast.NonTemporalAtom(a.pred, args...)
+	out.Pos = ast.Pos{Line: a.line, Col: a.col}
+	return out, nil
 }
 
 // buildArgs converts non-temporal argument positions.
@@ -248,7 +252,7 @@ func resolveUnit(u *rawUnit) (*ast.Program, *ast.Database, error) {
 			facts = append(facts, ast.FactOf(head))
 			continue
 		}
-		r := ast.Rule{Head: head}
+		r := ast.Rule{Head: head, Pos: ast.Pos{Line: c.line, Col: c.col}}
 		for _, b := range c.body {
 			atom, err := s.buildAtom(ci, b)
 			if err != nil {

@@ -62,6 +62,39 @@ func BenchmarkColdOpenAsk(b *testing.B) {
 	}
 }
 
+// BenchmarkLintOffHotPath pins the E14 claim: linting runs once at
+// compile time (the registry computes it before an entry is published),
+// so the query path never touches it. The sub-benchmarks measure a warm
+// closed ask before any lint runs, the one-time cost of the lint itself
+// on the same DB (the cached specification is reused, so only the
+// analysis runs), and the same warm ask afterwards — the two ask runs
+// must be statistically identical.
+func BenchmarkLintOffHotPath(b *testing.B) {
+	db, err := tdd.OpenUnit(skiUnit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Ask("plane(1000000, hunter)"); err != nil {
+		b.Fatal(err)
+	}
+	ask := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Ask("plane(1000000, hunter)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("ask-pre-lint", ask)
+	b.Run("lint-once", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := db.Lint(skiUnit); res.Warnings() != 0 {
+				b.Fatalf("ski unit should lint clean, got %+v", res.Diagnostics)
+			}
+		}
+	})
+	b.Run("ask-post-lint", ask)
+}
+
 // BenchmarkServedWarmAskParallel drives the warm path from many client
 // goroutines at once — the heavy-traffic shape.
 func BenchmarkServedWarmAskParallel(b *testing.B) {

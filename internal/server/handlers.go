@@ -35,6 +35,12 @@ type registerResponse struct {
 	Period          periodJSON `json:"period"`
 	Representatives int        `json:"representatives"`
 	Facts           int        `json:"facts"`
+	// LintWarnings counts lint findings at warning severity or above,
+	// always present so clients notice defects without opting in.
+	LintWarnings int `json:"lint_warnings"`
+	// Lint is the full Tier-A diagnostic list, present when the request
+	// carried ?lint=1.
+	Lint *tdd.LintResult `json:"lint,omitempty"`
 }
 
 type factsRequest struct {
@@ -56,7 +62,12 @@ type factsResponse struct {
 	Period          periodJSON `json:"period"`
 	Representatives int        `json:"representatives"`
 	Facts           int        `json:"facts"`
-	ElapsedUs       int64      `json:"elapsed_us"`
+	// LintWarnings and Lint mirror registerResponse: the batch may have
+	// filled a predicate that was flagged undefined, or emptied nothing —
+	// the program is re-linted against the extended database.
+	LintWarnings int             `json:"lint_warnings"`
+	Lint         *tdd.LintResult `json:"lint,omitempty"`
+	ElapsedUs    int64           `json:"elapsed_us"`
 }
 
 type askRequest struct {
@@ -221,14 +232,20 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if existing {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, registerResponse{
+	resp := registerResponse{
 		ID:              ent.src.id,
 		Rev:             ent.src.rev,
 		Existing:        existing,
 		Period:          periodJSON{Base: ent.period.Base, P: ent.period.P},
 		Representatives: ent.reps,
 		Facts:           ent.facts,
-	})
+		LintWarnings:    ent.lint.Warnings(),
+	}
+	if lintWanted(r) {
+		res := ent.Lint()
+		resp.Lint = &res
+	}
+	writeJSON(w, status, resp)
 }
 
 // GET /programs
@@ -268,7 +285,7 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, factsResponse{
+	resp := factsResponse{
 		ID:              ent.src.id,
 		Rev:             ent.src.rev,
 		NewFacts:        res.NewFacts,
@@ -279,14 +296,27 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		Period:          periodJSON{Base: ent.period.Base, P: ent.period.P},
 		Representatives: ent.reps,
 		Facts:           ent.facts,
+		LintWarnings:    ent.lint.Warnings(),
 		ElapsedUs:       time.Since(start).Microseconds(),
-	})
+	}
+	if lintWanted(r) {
+		lres := ent.Lint()
+		resp.Lint = &lres
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // traceWanted reports whether the request opted into an inline phase
 // tree via ?trace=1.
 func traceWanted(r *http.Request) bool {
 	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
+}
+
+// lintWanted reports whether the request opted into the full diagnostic
+// list via ?lint=1 (the warning count is always present).
+func lintWanted(r *http.Request) bool {
+	v := r.URL.Query().Get("lint")
 	return v == "1" || v == "true"
 }
 
@@ -469,6 +499,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.Programs = s.reg.WarmStats()
+	for _, p := range snap.Programs {
+		snap.LintWarnings += int64(p.LintWarnings)
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -138,18 +138,22 @@ func (m *Metrics) route(name string) *routeMetrics {
 
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {
-	Requests    int64                    `json:"requests"`
-	Errors      int64                    `json:"errors"`
-	InFlight    int64                    `json:"in_flight"`
-	Timeouts    int64                    `json:"timeouts"`
-	CacheHits   int64                    `json:"cache_hits"`
-	CacheMisses int64                    `json:"cache_misses"`
-	CacheEvict  int64                    `json:"cache_evictions"`
-	Fallbacks   int64                    `json:"bt_fallbacks"`
-	Asserts     int64                    `json:"asserts"`
-	Ingested    int64                    `json:"facts_ingested"`
-	Parallelism int64                    `json:"eval_parallelism"`
-	Routes      map[string]RouteSnapshot `json:"routes"`
+	Requests    int64 `json:"requests"`
+	Errors      int64 `json:"errors"`
+	InFlight    int64 `json:"in_flight"`
+	Timeouts    int64 `json:"timeouts"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheEvict  int64 `json:"cache_evictions"`
+	Fallbacks   int64 `json:"bt_fallbacks"`
+	Asserts     int64 `json:"asserts"`
+	Ingested    int64 `json:"facts_ingested"`
+	Parallelism int64 `json:"eval_parallelism"`
+	// LintWarnings gauges lint findings at warning severity or above,
+	// summed over the warm programs; filled in by the metrics handler
+	// alongside Programs.
+	LintWarnings int64                    `json:"lint_warnings"`
+	Routes       map[string]RouteSnapshot `json:"routes"`
 	// Programs holds per-program engine counters for every warm program;
 	// filled in by the metrics handler from the registry.
 	Programs map[string]ProgramStats `json:"programs,omitempty"`

@@ -87,6 +87,12 @@ func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats)
 		fmt.Fprintf(w, "tddserve_request_duration_seconds_count{route=%q} %d\n", name, count)
 	}
 
+	var lintWarnings int64
+	for _, p := range programs {
+		lintWarnings += int64(p.LintWarnings)
+	}
+	fmt.Fprintf(w, "# HELP tddserve_lint_warnings Lint findings at warning severity or above across warm programs.\n# TYPE tddserve_lint_warnings gauge\ntddserve_lint_warnings %d\n", lintWarnings)
+
 	ids := make([]string, 0, len(programs))
 	for id := range programs {
 		ids = append(ids, id)
@@ -106,6 +112,8 @@ func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats)
 			func(p ProgramStats) int64 { return int64(p.Representatives) }},
 		{"tddserve_program_spec_facts", "Primary-database facts |B| of a warm program's specification.",
 			func(p ProgramStats) int64 { return int64(p.Facts) }},
+		{"tddserve_program_lint_warnings", "Lint findings at warning severity or above for a warm program.",
+			func(p ProgramStats) int64 { return int64(p.LintWarnings) }},
 	}
 	for _, g := range progGauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)

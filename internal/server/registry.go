@@ -57,6 +57,16 @@ type programSource struct {
 	extra []string
 }
 
+// lintSource is the raw text inline "tddlint:ignore" suppressions are
+// read from: the unit source when the program was registered mixed, the
+// rules source otherwise (rule positions refer to it).
+func (s *programSource) lintSource() string {
+	if s.unit != "" {
+		return s.unit
+	}
+	return s.rules
+}
+
 // entry is a warm program: the compiled BT engine plus the preprocessed
 // specification. specDB answers every query the spec path supports from
 // immutable structure with no locking; db is the fallback engine and the
@@ -69,6 +79,11 @@ type entry struct {
 	period   tdd.Period
 	reps     int // |T|, representative terms
 	facts    int // |B|, primary-database facts
+	// lint is the Tier-A analysis of the compiled program, computed once
+	// per compile/ingest while the entry is built — never on the query
+	// path. Served in registration/ingestion responses (?lint=1 for the
+	// full diagnostics) and aggregated into the lint_warnings gauge.
+	lint tdd.LintResult
 	// tr is the program's lifetime trace: the compile pipeline (parse,
 	// validate, classify, certify-period with fixpoint sweeps,
 	// spec-construct, preprocess, import) plus every ingest since.
@@ -89,6 +104,9 @@ func (e *entry) Rev() string { return e.src.rev }
 
 // Period returns the certified minimal period.
 func (e *entry) Period() tdd.Period { return e.period }
+
+// Lint returns the Tier-A analysis computed when the entry was built.
+func (e *entry) Lint() tdd.LintResult { return e.lint }
 
 // future caches one compile-in-progress so concurrent misses on the same
 // id do the work once (no thundering herd on expensive period
@@ -135,11 +153,11 @@ type Registry struct {
 	metrics     *Metrics
 
 	mu    sync.Mutex
-	progs map[string]*programSource
-	cache *lru[*future]
+	progs map[string]*programSource // guarded-by: mu
+	cache *lru[*future]             // guarded-by: mu
 	// writing holds one mutex per program id: Ingest serializes writers
 	// per program while readers keep querying the published entry.
-	writing map[string]*sync.Mutex
+	writing map[string]*sync.Mutex // guarded-by: mu
 }
 
 // NewRegistry builds a registry whose spec cache holds at most cacheSize
@@ -234,6 +252,13 @@ func (r *Registry) compile(src *programSource) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Lint after the export: the specification is already certified, so
+	// the linter's semantic probe reuses it and re-evaluates nothing. The
+	// cost lands on compile, keeping the query path untouched.
+	sp = tr.Begin("lint")
+	lintRes := db.Lint(src.lintSource())
+	sp.Add("warnings", int64(lintRes.Warnings()))
+	sp.End()
 	return &entry{
 		src:      src,
 		db:       db,
@@ -242,6 +267,7 @@ func (r *Registry) compile(src *programSource) (*entry, error) {
 		period:   specDB.Period(),
 		reps:     reps,
 		facts:    facts,
+		lint:     lintRes,
 		tr:       tr,
 	}, nil
 }
@@ -386,6 +412,7 @@ func (r *Registry) Ingest(id, facts string) (*entry, tdd.AssertResult, error) {
 		period:   specDB.Period(),
 		reps:     reps,
 		facts:    nfacts,
+		lint:     fork.Lint(nsrc.lintSource()),
 		tr:       ent.tr,
 	}
 	r.mu.Lock()
@@ -407,6 +434,9 @@ type ProgramStats struct {
 	Sweeps          int        `json:"sweeps"`
 	Representatives int        `json:"representatives"`
 	Facts           int        `json:"facts"`
+	// LintWarnings counts this program's lint findings at warning
+	// severity or above (errors cannot occur on a program that compiled).
+	LintWarnings int `json:"lint_warnings"`
 }
 
 // PeriodInfo is the JSON form of a period in metrics.
@@ -435,6 +465,7 @@ func (r *Registry) WarmStats() map[string]ProgramStats {
 			Sweeps:          sweeps,
 			Representatives: e.reps,
 			Facts:           e.facts,
+			LintWarnings:    e.lint.Warnings(),
 		}
 	})
 	return out

@@ -23,6 +23,21 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> tddlint Tier B (engine-invariant vettool)"
+# The same binary that lints unit files speaks the go vet wire protocol;
+# this gate keeps map-range ordering, fixpoint determinism, and
+# guarded-by locking violations out of the tree.
+vettmp=$(mktemp -d)
+trap 'rm -rf "$vettmp"' EXIT
+go build -o "$vettmp/tddlint" ./cmd/tddlint
+go vet -vettool="$vettmp/tddlint" ./...
+
+echo "==> tddlint Tier A (examples corpus lint-clean)"
+# Every shipped unit file must be free of warning-or-worse findings;
+# infos (e.g. "not multi-separable" on deliberately intractable
+# examples) are allowed.
+go run ./cmd/tddlint -werror examples/units/*.tdd
+
 echo "==> go test ./..."
 go test ./...
 
