@@ -23,6 +23,12 @@
 //	-quiet      suppress per-request logs
 //	-slowquery d  log the full phase trace of requests slower than d (0 disables)
 //	-pprof      mount net/http/pprof under /debug/pprof/
+//	-data DIR   durable mode: WAL + snapshots under DIR, warm recovery on restart
+//	-fsync p    WAL fsync policy: always | interval | off (default interval)
+//	-fsync-interval d  background fsync cadence under -fsync interval (default 100ms)
+//	-snapshot-every n  snapshot + truncate a program's log every n batches (default 64)
+//	-follow URL read-only follower: tail the leader's WAL feed, reject writes
+//	-follow-interval d leader poll cadence (default 500ms)
 //
 // Endpoints:
 //
@@ -32,6 +38,7 @@
 //	POST /programs/{id}/answers  {"query": "even(T)", "limit": 10}
 //	GET  /programs/{id}/period   certified minimal period
 //	GET  /programs/{id}/spec     exported relational specification (JSON)
+//	GET  /programs/{id}/wal      replication feed: batches past ?from=N, base at 0
 //	GET  /healthz                liveness
 //	GET  /metrics                counters, latency histograms, cache stats (JSON)
 //	GET  /metrics.prom           the same counters in Prometheus text exposition
@@ -77,6 +84,12 @@ func run() error {
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	slowQuery := flag.Duration("slowquery", 0, "log full phase traces of requests slower than this (0 disables)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	dataDir := flag.String("data", "", "data directory for durable programs (WAL + snapshots); empty = in-memory only")
+	fsync := flag.String("fsync", "interval", `WAL fsync policy: "always", "interval", or "off"`)
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence under -fsync interval")
+	snapshotEvery := flag.Int("snapshot-every", 64, "snapshot + truncate a program's log every n batches (negative disables)")
+	follow := flag.String("follow", "", "leader base URL; run as a read-only follower tailing its WAL feed")
+	followInterval := flag.Duration("follow-interval", 500*time.Millisecond, "leader poll cadence under -follow")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -89,6 +102,12 @@ func run() error {
 		Parallelism:    *parallel,
 		SlowQueryLog:   *slowQuery,
 		EnablePprof:    *pprofFlag,
+		DataDir:        *dataDir,
+		Fsync:          *fsync,
+		FsyncInterval:  *fsyncInterval,
+		SnapshotEvery:  *snapshotEvery,
+		Follow:         *follow,
+		FollowInterval: *followInterval,
 	}
 	if *slowQuery > 0 {
 		// The slow-query log is the point of the flag; it must survive
@@ -98,7 +117,17 @@ func run() error {
 	if !*quiet {
 		cfg.Logger = logger
 	}
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		progs, batches := srv.Recovered()
+		fmt.Printf("tddserve: recovered %d program(s), %d batch(es) from %s\n", progs, batches, *dataDir)
+	}
+	if *follow != "" {
+		fmt.Printf("tddserve: read-only follower of %s\n", *follow)
+	}
 
 	// Preload unit files so the cache is warm before the first request.
 	for _, file := range flag.Args() {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	tddstream file.tdd < stream
+//	tddstream [-data DIR] file.tdd < stream
 //
 // Stream lines:
 //
@@ -19,24 +19,34 @@
 //
 // Blank lines and % comments pass through unanswered, so a stream file
 // can document itself.
+//
+// With -data DIR the session is durable: every asserted batch is
+// appended to a write-ahead log under DIR before it is acknowledged,
+// and restarting tddstream with the same unit file and directory
+// replays the logged batches — the session resumes exactly where the
+// previous run (or crash) left it.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
 	"tdd"
+	"tdd/internal/wal"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tddstream file.tdd < stream")
+	dataDir := flag.String("data", "", "durable session: WAL directory (restart resumes the stream)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tddstream [-data DIR] file.tdd < stream")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(os.Args[1])
+	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tddstream:", err)
 		os.Exit(1)
@@ -49,13 +59,87 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tddstream:", err)
 		os.Exit(1)
 	}
-	if err := tail(db, tr, os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tddstream:", err)
+	var sess *session
+	if *dataDir != "" {
+		sess, err = openSession(db, *dataDir, string(src), os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tddstream:", err)
+			os.Exit(1)
+		}
+	}
+	tailErr := tail(db, tr, sess, os.Stdin, os.Stdout)
+	if sess != nil {
+		if err := sess.store.Close(); err != nil && tailErr == nil {
+			tailErr = err
+		}
+	}
+	if tailErr != nil {
+		fmt.Fprintln(os.Stderr, "tddstream:", tailErr)
 		os.Exit(1)
 	}
 }
 
-func tail(db *tdd.DB, tr *tdd.Trace, in io.Reader, out io.Writer) error {
+// session is a durable stream: the program's WAL under -data DIR plus
+// the replication cursor (seq, rev) of the batches logged so far.
+type session struct {
+	store *wal.Store
+	log   *wal.Log
+	seq   uint64
+	rev   string
+}
+
+// openSession opens (or resumes) the durable session for this unit
+// source: prior logged batches are verified and replayed into db, then
+// the log is reopened for appending.
+func openSession(db *tdd.DB, dir, unit string, out io.Writer) (*session, error) {
+	// fsync=always: a stream session acknowledges batches one at a time
+	// on a human/pipe cadence, so full durability costs nothing
+	// noticeable.
+	store, err := wal.Open(dir, wal.Options{Policy: wal.FsyncAlways})
+	if err != nil {
+		return nil, err
+	}
+	id := wal.HashSource(unit, "", "")
+	recovered, err := store.Recover()
+	if err != nil {
+		store.Close() //nolint:errcheck // the recovery error wins
+		return nil, err
+	}
+	sess := &session{store: store, seq: 0, rev: id}
+	for _, rec := range recovered {
+		if rec.Base.ID != id {
+			continue // another unit file sharing the directory
+		}
+		for _, wr := range rec.Records {
+			if _, err := db.Assert(wr.Batch); err != nil {
+				store.Close() //nolint:errcheck
+				return nil, fmt.Errorf("replaying logged batch %d: %w", wr.Seq, err)
+			}
+		}
+		sess.seq, sess.rev = rec.Seq, rec.Rev
+		fmt.Fprintf(out, "resumed %d logged batch(es), rev %s\n", rec.Seq, rec.Rev)
+	}
+	lg, err := store.Create(wal.Base{ID: id, Unit: unit})
+	if err != nil {
+		store.Close() //nolint:errcheck
+		return nil, err
+	}
+	sess.log = lg
+	return sess, nil
+}
+
+// append logs one acknowledged batch.
+func (s *session) append(batch string) error {
+	next := wal.NextRev(s.rev, batch)
+	rec := wal.Record{Seq: s.seq + 1, Prev: s.rev, Rev: next, Batch: batch}
+	if err := s.log.Append(rec); err != nil {
+		return err
+	}
+	s.seq, s.rev = rec.Seq, rec.Rev
+	return nil
+}
+
+func tail(db *tdd.DB, tr *tdd.Trace, sess *session, in io.Reader, out io.Writer) error {
 	scanner := bufio.NewScanner(in)
 	var watches []string
 	var batches []tdd.AssertResult
@@ -97,6 +181,14 @@ func tail(db *tdd.DB, tr *tdd.Trace, in io.Reader, out io.Writer) error {
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				break
+			}
+			if sess != nil {
+				// Log before acknowledging: a batch the user saw a "+n new"
+				// line for must survive a crash. Append under fsync=always
+				// syncs before returning.
+				if err := sess.append(line); err != nil {
+					return fmt.Errorf("logging batch: %w", err)
+				}
 			}
 			batches = append(batches, res)
 			p, err := db.Period()

@@ -5,20 +5,30 @@ import (
 	"strconv"
 )
 
-// DetFix bans wall-clock time and randomness in fixpoint code: the
-// "time", "math/rand", and "math/rand/v2" imports are forbidden in
-// internal/engine and internal/core. The engine's results, Stats, and
-// derivation order are part of its contract (bit-identical across worker
-// counts and runs); a time.Now branch or rand tie-break would make the
-// fixpoint's output depend on the machine, which the differential tests
-// could only catch probabilistically. Banning the import bans every use.
-// (Timing belongs in internal/obs and the server layer, which are free to
-// import time.)
+// DetFix bans wall-clock time and randomness in the evaluation and
+// ingestion pipeline: the "time", "math/rand", and "math/rand/v2"
+// imports are forbidden in internal/engine, internal/core, internal/inc,
+// and internal/wal. The engine's results, Stats, and derivation order
+// are part of its contract (bit-identical across worker counts and
+// runs); a time.Now branch or rand tie-break would make the fixpoint's
+// output depend on the machine, which the differential tests could only
+// catch probabilistically. Banning the import bans every use. (Timing
+// belongs in internal/obs and the server layer, which are free to import
+// time.)
+//
+// internal/wal carries one scoped exemption, recorded in
+// detFixWallClockAllowed rather than as inline suppressions: its
+// background fsync ticker and snapshot-age stats are operational
+// concerns that genuinely need the clock, and no model-visible value
+// flows from it — the record format, hash chain, and recovery are
+// clock-free. Randomness stays banned there; a random tie-break in
+// recovery would be exactly the nondeterminism this check exists to
+// stop.
 var DetFix = &Analyzer{
 	Name: "detfix",
 	Doc:  "forbid time and math/rand imports in fixpoint packages (determinism contract)",
 	AppliesTo: func(path string) bool {
-		return underTDD(path, "tdd/internal/engine", "tdd/internal/core")
+		return underTDD(path, "tdd/internal/engine", "tdd/internal/core", "tdd/internal/inc", "tdd/internal/wal")
 	},
 	Run: runDetFix,
 }
@@ -29,7 +39,16 @@ var detFixBanned = map[string]string{
 	"math/rand/v2": "randomness",
 }
 
+// detFixWallClockAllowed lists packages exempt from the "time" ban (and
+// only that ban). An explicit allowlist keeps the policy auditable in
+// one place: adding a package here is a reviewed decision, unlike an
+// inline suppression scattered through the code.
+var detFixWallClockAllowed = map[string]bool{
+	"tdd/internal/wal": true, // fsync ticker + snapshot age; no model-visible value derives from the clock
+}
+
 func runDetFix(p *Pass) {
+	allowClock := detFixWallClockAllowed[p.ImportPath]
 	for _, f := range p.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
@@ -37,10 +56,13 @@ func runDetFix(p *Pass) {
 				continue
 			}
 			why, banned := detFixBanned[path]
-			if !banned {
+			if !banned || (path == "time" && allowClock) {
 				continue
 			}
 			p.Reportf(imp.Pos(), "import of %q brings %s into fixpoint code; the engine's output must be deterministic across runs and worker counts", path, why)
+		}
+		if allowClock {
+			continue
 		}
 		// Belt and braces: a dot-import or renamed import still surfaces
 		// as the path above, but also flag direct selector uses in case a

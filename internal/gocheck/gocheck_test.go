@@ -125,6 +125,38 @@ func pick() int { return rand.Int() }
 	}
 }
 
+func TestDetFixCoversIncrementalPipeline(t *testing.T) {
+	// internal/inc sits on the ingestion path; it inherits the full ban.
+	diags := lintFixture(t, "tdd/internal/inc", `package inc
+import "time"
+func now() time.Time { return time.Now() }
+`)
+	if len(diags) == 0 {
+		t.Fatal("internal/inc must be in detfix scope")
+	}
+}
+
+func TestDetFixWALWallClockAllowlist(t *testing.T) {
+	// internal/wal is on the explicit wall-clock allowlist: its fsync
+	// ticker and snapshot ages need the clock, and nothing model-visible
+	// derives from it.
+	clock := `package wal
+import "time"
+func tick() time.Time { return time.Now() }
+`
+	if diags := lintFixture(t, "tdd/internal/wal", clock); len(diags) != 0 {
+		t.Fatalf("wal wall clock should be allowlisted, got %v", diags)
+	}
+	// The allowlist covers "time" only — randomness stays banned in wal.
+	diags := lintFixture(t, "tdd/internal/wal", `package wal
+import "math/rand"
+func pick() int { return rand.Int() }
+`)
+	if got := analyzers(diags); len(got) != 1 || got[0] != "detfix" {
+		t.Fatalf("wal math/rand must stay banned, got %v", diags)
+	}
+}
+
 const guardedStruct = `package core
 import "sync"
 type box struct {

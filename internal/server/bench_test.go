@@ -9,13 +9,17 @@ import (
 	"testing"
 
 	"tdd"
+	"tdd/internal/wal"
 )
 
 // BenchmarkServedWarmAsk measures one served closed query on a warm spec
 // cache — the E7 fast path the server exists for: HTTP round-trip + one
 // rewrite + one lookup.
 func BenchmarkServedWarmAsk(b *testing.B) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -95,10 +99,53 @@ func BenchmarkLintOffHotPath(b *testing.B) {
 	b.Run("ask-post-lint", ask)
 }
 
+// BenchmarkDurableIngest measures one ingested batch through the
+// registry under each durability mode — the E15 numbers: what the WAL
+// (and each fsync policy) adds on top of the incremental ingest itself.
+func BenchmarkDurableIngest(b *testing.B) {
+	run := func(b *testing.B, attach func(b *testing.B, reg *Registry)) {
+		reg := NewRegistry(8, 0, 0, newMetrics(routeNames))
+		if attach != nil {
+			attach(b, reg)
+		}
+		ent, _, err := reg.Register(evenUnit, "", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Distinct odd timestamps: every batch is one genuinely new fact.
+			if _, _, err := reg.Ingest(ent.ID(), fmt.Sprintf("even(%d).\n", 3+2*i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := reg.CloseWAL(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	durable := func(policy wal.Policy) func(*testing.B, *Registry) {
+		return func(b *testing.B, reg *Registry) {
+			store, err := wal.Open(b.TempDir(), wal.Options{Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg.EnableDurability(store, 0)
+		}
+	}
+	b.Run("memory", func(b *testing.B) { run(b, nil) })
+	b.Run("fsync-off", func(b *testing.B) { run(b, durable(wal.FsyncOff)) })
+	b.Run("fsync-interval", func(b *testing.B) { run(b, durable(wal.FsyncInterval)) })
+	b.Run("fsync-always", func(b *testing.B) { run(b, durable(wal.FsyncAlways)) })
+}
+
 // BenchmarkServedWarmAskParallel drives the warm path from many client
 // goroutines at once — the heavy-traffic shape.
 func BenchmarkServedWarmAskParallel(b *testing.B) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

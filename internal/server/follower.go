@@ -1,0 +1,142 @@
+package server
+
+// Follower mode: tail a leader's WAL feed and apply it locally.
+//
+// The follower polls GET /programs on the leader, then for each program
+// GET /programs/{id}/wal?from=<local seq>. An unknown program is
+// bootstrapped by registering the base sources carried by the from=0
+// feed (the registry's content hash must reproduce the leader's id —
+// leaders and followers share the hash in internal/wal); subsequent
+// records are folded in through the ordinary ingest path, and each
+// application verifies the resulting revision against the leader's
+// record (ApplyReplicated), so divergence is detected at the first bad
+// batch rather than silently served. The follower's own HTTP surface is
+// read-only (403 on register/facts) — its state is a function of the
+// leader's feed alone.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+type follower struct {
+	srv      *Server
+	leader   string // base URL, no trailing slash
+	interval time.Duration
+	client   *http.Client
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+}
+
+// startFollower launches the poll loop. stop() shuts it down and waits
+// for the in-flight poll to finish.
+func startFollower(s *Server, leaderURL string, interval time.Duration) *follower {
+	f := &follower{
+		srv:      s,
+		leader:   strings.TrimRight(leaderURL, "/"),
+		interval: interval,
+		client:   &http.Client{Timeout: 30 * time.Second},
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go f.run()
+	return f
+}
+
+func (f *follower) stop() {
+	f.stopOnce.Do(func() { close(f.stopCh) })
+	<-f.done
+}
+
+func (f *follower) run() {
+	defer close(f.done)
+	t := time.NewTicker(f.interval)
+	defer t.Stop()
+	// First poll immediately: a follower started against a live leader
+	// should converge without waiting out the first tick.
+	f.poll()
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		case <-t.C:
+			f.poll()
+		}
+	}
+}
+
+// poll runs one replication cycle: list the leader's programs, tail each
+// one's feed past the local cursor, and refresh the lag gauge.
+func (f *follower) poll() {
+	m := f.srv.metrics
+	var list listResponse
+	if err := f.getJSON(f.leader+"/programs", &list); err != nil {
+		m.FollowerErrors.Add(1)
+		f.srv.cfg.Logger.Warn("follower: listing leader programs", "leader", f.leader, "err", err)
+		return
+	}
+	var lag int64
+	for _, id := range list.Programs {
+		behind, err := f.replicate(id)
+		if err != nil {
+			m.FollowerErrors.Add(1)
+			f.srv.cfg.Logger.Warn("follower: replicating program", "program", id, "err", err)
+		}
+		lag += behind
+	}
+	m.FollowerLag.Store(lag)
+	m.FollowerPolls.Add(1)
+}
+
+// replicate catches one program up to the leader and returns how many
+// leader batches remain unapplied (normally 0; nonzero only when an
+// apply failed part-way).
+func (f *follower) replicate(id string) (behind int64, err error) {
+	from, _, known := f.srv.reg.SeqRev(id)
+	if !known {
+		from = 0
+	}
+	var feed WalFeed
+	if err := f.getJSON(fmt.Sprintf("%s/programs/%s/wal?from=%d", f.leader, id, from), &feed); err != nil {
+		return 0, err
+	}
+	if !known {
+		if feed.Base == nil {
+			return int64(feed.Seq), fmt.Errorf("leader feed for %s carries no base sources", id)
+		}
+		ent, _, err := f.srv.reg.Register(feed.Base.Unit, feed.Base.Rules, feed.Base.Facts)
+		if err != nil {
+			return int64(feed.Seq), fmt.Errorf("registering leader program: %w", err)
+		}
+		if ent.ID() != id {
+			return int64(feed.Seq), fmt.Errorf("leader base for %s hashes to %s locally", id, ent.ID())
+		}
+	}
+	for i, rec := range feed.Records {
+		if err := f.srv.reg.ApplyReplicated(id, rec); err != nil {
+			return int64(len(feed.Records) - i), err
+		}
+		f.srv.metrics.FollowerRecords.Add(1)
+	}
+	return 0, nil
+}
+
+func (f *follower) getJSON(url string, v any) error {
+	resp, err := f.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

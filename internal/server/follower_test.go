@@ -1,0 +1,147 @@
+package server
+
+// In-process leader/follower convergence: a follower started against a
+// live leader must bootstrap every program from the WAL feed, converge
+// to the leader's revision, keep converging as the leader ingests, and
+// refuse local writes.
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// waitConverged polls until the follower's cursor for id reaches the
+// leader's (seq, rev) or the deadline expires.
+func waitConverged(t *testing.T, leader, fol *Registry, id string) {
+	t.Helper()
+	wantSeq, wantRev, ok := leader.SeqRev(id)
+	if !ok {
+		t.Fatalf("leader does not know %s", id)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		seq, rev, ok := fol.SeqRev(id)
+		if ok && seq == wantSeq && rev == wantRev {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	seq, rev, _ := fol.SeqRev(id)
+	t.Fatalf("follower stuck at (%d, %s), leader at (%d, %s)", seq, rev, wantSeq, wantRev)
+}
+
+func TestFollowerConvergesAndStaysReadOnly(t *testing.T) {
+	leader, lts := newTestServer(t, Config{})
+	ent, _, err := leader.Registry().Register(evenUnit, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ent.ID()
+	if _, _, err := leader.Registry().Ingest(id, "even(7).\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Follower from an empty state: must bootstrap the program (verifying
+	// the content hash) and replay the pre-existing batch.
+	fol, err := New(Config{Follow: lts.URL, FollowInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fol.Close)
+	fts := httptest.NewServer(fol.Handler())
+	t.Cleanup(fts.Close)
+	waitConverged(t, leader.Registry(), fol.Registry(), id)
+
+	// The replicated model is the leader's model, not merely its rev:
+	// fingerprints hash every state of the periodic model.
+	lent, err := leader.Registry().Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fent, err := fol.Registry().Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfp, err := lent.db.ModelFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffp, err := fent.db.ModelFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfp != ffp {
+		t.Fatalf("follower model %s != leader model %s", ffp, lfp)
+	}
+
+	// Live catch-up: new leader batches reach the follower.
+	for _, b := range []string{"even(9).\n", "even(11).\n"} {
+		if _, _, err := leader.Registry().Ingest(id, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, leader.Registry(), fol.Registry(), id)
+
+	// The follower answers reads...
+	resp, _ := postJSON(t, fts.URL+"/programs/"+id+"/ask", askRequest{Query: "even(11)"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("follower ask status %d", resp.StatusCode)
+	}
+	// ...and rejects writes with 403.
+	if resp, _ := postJSON(t, fts.URL+"/programs", registerRequest{Unit: skiUnit}); resp.StatusCode != 403 {
+		t.Fatalf("follower register status %d, want 403", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, fts.URL+"/programs/"+id+"/facts", factsRequest{Facts: "even(13).\n"}); resp.StatusCode != 403 {
+		t.Fatalf("follower facts status %d, want 403", resp.StatusCode)
+	}
+
+	// Replication state is exported: polls counted, lag settled to 0.
+	if fol.metrics.FollowerPolls.Load() == 0 || fol.metrics.FollowerRecords.Load() < 3 {
+		t.Fatalf("follower counters polls=%d records=%d, want >0 / >=3",
+			fol.metrics.FollowerPolls.Load(), fol.metrics.FollowerRecords.Load())
+	}
+	if lag := fol.metrics.FollowerLag.Load(); lag != 0 {
+		t.Fatalf("converged follower reports lag %d", lag)
+	}
+}
+
+// TestDurableFollower runs a follower with its own data directory: the
+// replicated state must survive the follower's restart without
+// re-pulling history from the leader.
+func TestDurableFollower(t *testing.T) {
+	leader, lts := newTestServer(t, Config{})
+	ent, _, err := leader.Registry().Register(evenUnit, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ent.ID()
+	if _, _, err := leader.Registry().Ingest(id, "even(21).\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	fol, err := New(Config{Follow: lts.URL, FollowInterval: 20 * time.Millisecond, DataDir: dir, Fsync: "always"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, leader.Registry(), fol.Registry(), id)
+	fol.Close()
+
+	// Restart from disk with no leader configured: the replica's state
+	// was durable, so it can serve standalone.
+	fol2, err := New(Config{DataDir: dir, Fsync: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fol2.Close)
+	progs, batches := fol2.Recovered()
+	if progs != 1 || batches != 1 {
+		t.Fatalf("recovered %d programs / %d batches, want 1 / 1", progs, batches)
+	}
+	seq, rev, ok := fol2.Registry().SeqRev(id)
+	wantSeq, wantRev, _ := leader.Registry().SeqRev(id)
+	if !ok || seq != wantSeq || rev != wantRev {
+		t.Fatalf("restarted replica at (%d, %s), leader at (%d, %s)", seq, rev, wantSeq, wantRev)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"tdd"
 	"tdd/internal/obs"
+	"tdd/internal/wal"
 )
 
 // Wire types. Every response body is JSON; errors are {"error": "..."}
@@ -172,7 +174,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 		s.metrics.Timeouts.Add(1)
 		err = fmt.Errorf("request timed out or was canceled: %w", err)
-	case errors.Is(err, ErrPoolClosed):
+	case errors.Is(err, ErrPoolClosed), errors.Is(err, wal.ErrClosed):
+		// A WAL closed mid-request means shutdown won the race: the batch
+		// was rejected, not torn — retry against a live server.
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
@@ -198,8 +202,24 @@ func (s *Server) dispatch(r *http.Request, fn func()) error {
 	return s.pool.Do(ctx, fn)
 }
 
+// rejectReadOnly rejects a mutating request on a follower: the replica's
+// state is defined entirely by the leader's WAL feed, so local writes
+// would fork it. Enforced at the handler level — the registry itself
+// stays writable for the replication loop.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	if !s.readOnly {
+		return false
+	}
+	writeJSON(w, http.StatusForbidden,
+		errorResponse{Error: "read-only follower of " + s.cfg.Follow + ": send writes to the leader"})
+	return true
+}
+
 // POST /programs
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req registerRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.writeError(w, err)
@@ -259,6 +279,9 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 // concurrent queries see the program either entirely before or entirely
 // after the batch. Writers on one program are serialized.
 func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req factsRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.writeError(w, err)
@@ -490,9 +513,79 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	w.Write(ent.specJSON) //nolint:errcheck
 }
 
+// GET /programs/{id}/wal — the replication feed: the batch history past
+// the caller's cursor (?from=N batches already held), with the base
+// sources when the cursor is 0 so an empty follower can bootstrap. The
+// feed is built from the registry's in-memory rev chain, so any server —
+// durable or not — can lead.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	var from uint64
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("bad from cursor %q: %w", v, err))
+			return
+		}
+		from = n
+	}
+	var (
+		feed WalFeed
+		err  error
+	)
+	id := r.PathValue("id")
+	if derr := s.dispatch(r, func() {
+		feed, err = s.reg.Feed(id, from)
+	}); derr != nil {
+		s.writeError(w, derr)
+		return
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, feed)
+}
+
 // GET /healthz
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// durabilityStats converts the store's per-program state to the metrics
+// wire form (nil without a data directory).
+func (s *Server) durabilityStats() map[string]DurabilityStats {
+	stats := s.reg.DurabilityStats()
+	if stats == nil {
+		return nil
+	}
+	out := make(map[string]DurabilityStats, len(stats))
+	for id, st := range stats {
+		out[id] = DurabilityStats{
+			Seq:            st.Seq,
+			Rev:            st.Rev,
+			DurableSeq:     st.DurableSeq,
+			DurableRev:     st.DurableRev,
+			SnapshotSeq:    st.SnapshotSeq,
+			SnapshotAgeSec: st.SnapshotAge.Seconds(),
+			WalBytes:       st.Bytes,
+		}
+	}
+	return out
+}
+
+// followerSnapshot reports the replication section (nil unless
+// following).
+func (s *Server) followerSnapshot() *FollowerSnapshot {
+	if s.follower == nil {
+		return nil
+	}
+	return &FollowerSnapshot{
+		Leader:  s.cfg.Follow,
+		Polls:   s.metrics.FollowerPolls.Load(),
+		Records: s.metrics.FollowerRecords.Load(),
+		Errors:  s.metrics.FollowerErrors.Load(),
+		Lag:     s.metrics.FollowerLag.Load(),
+	}
 }
 
 // GET /metrics
@@ -502,6 +595,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, p := range snap.Programs {
 		snap.LintWarnings += int64(p.LintWarnings)
 	}
+	snap.Durability = s.durabilityStats()
+	snap.Follower = s.followerSnapshot()
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -509,5 +604,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // for scrape-based monitoring.
 func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.reg.WarmStats())
+	s.metrics.writePrometheus(w, s.reg.WarmStats(), s.durabilityStats())
 }

@@ -108,6 +108,21 @@ type Metrics struct {
 	Asserts       atomic.Int64 // successful fact-ingestion batches
 	FactsIngested atomic.Int64 // facts new to a database across all ingestions
 
+	// Durability counters (all zero without -data).
+	WalAppends     atomic.Int64 // batches appended to a program WAL
+	WalFsyncs      atomic.Int64 // fsync calls across all program logs
+	Snapshots      atomic.Int64 // snapshot+truncate cycles completed
+	SnapshotErrors atomic.Int64 // snapshot attempts that failed (batch stayed logged)
+
+	// Replication counters and gauges (all zero unless following).
+	FollowerPolls   atomic.Int64 // leader poll cycles completed
+	FollowerRecords atomic.Int64 // WAL records applied from the leader
+	FollowerErrors  atomic.Int64 // poll or apply failures (incl. divergence)
+	FollowerLag     atomic.Int64 // gauge: leader batches not yet applied, summed over programs
+
+	// fsyncLatency observes every WAL fsync across all program logs.
+	fsyncLatency histogram
+
 	// EvalParallelism gauges the configured engine worker bound
 	// (Config.Parallelism; 0 = sequential schedule). Set once at startup.
 	EvalParallelism atomic.Int64
@@ -153,10 +168,43 @@ type MetricsSnapshot struct {
 	// summed over the warm programs; filled in by the metrics handler
 	// alongside Programs.
 	LintWarnings int64                    `json:"lint_warnings"`
+	WalAppends   int64                    `json:"wal_appends"`
+	WalFsyncs    int64                    `json:"wal_fsyncs"`
+	Snapshots    int64                    `json:"wal_snapshots"`
+	SnapErrors   int64                    `json:"wal_snapshot_errors"`
+	FsyncLatency HistogramSnapshot        `json:"wal_fsync_latency"`
+	Follower     *FollowerSnapshot        `json:"follower,omitempty"`
 	Routes       map[string]RouteSnapshot `json:"routes"`
 	// Programs holds per-program engine counters for every warm program;
 	// filled in by the metrics handler from the registry.
 	Programs map[string]ProgramStats `json:"programs,omitempty"`
+	// Durability holds per-program WAL state (last durable rev, snapshot
+	// age, log size); filled in by the metrics handler when the server
+	// runs with a data directory.
+	Durability map[string]DurabilityStats `json:"durability,omitempty"`
+}
+
+// FollowerSnapshot is the replication section of /metrics, present only
+// on a follower.
+type FollowerSnapshot struct {
+	Leader  string `json:"leader"`
+	Polls   int64  `json:"polls"`
+	Records int64  `json:"records_applied"`
+	Errors  int64  `json:"errors"`
+	// Lag is the number of leader batches not yet applied, summed over
+	// programs, as of the last poll.
+	Lag int64 `json:"lag_records"`
+}
+
+// DurabilityStats is the JSON form of one program's WAL state.
+type DurabilityStats struct {
+	Seq            uint64  `json:"seq"`
+	Rev            string  `json:"rev"`
+	DurableSeq     uint64  `json:"durable_seq"`
+	DurableRev     string  `json:"durable_rev"`
+	SnapshotSeq    uint64  `json:"snapshot_seq"`
+	SnapshotAgeSec float64 `json:"snapshot_age_sec,omitempty"`
+	WalBytes       int64   `json:"wal_bytes"`
 }
 
 // Snapshot captures a consistent-enough view for serving: counters are
@@ -164,18 +212,23 @@ type MetricsSnapshot struct {
 // trade-off.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
-		Requests:    m.Requests.Load(),
-		Errors:      m.Errors.Load(),
-		InFlight:    m.InFlight.Load(),
-		Timeouts:    m.Timeouts.Load(),
-		CacheHits:   m.CacheHits.Load(),
-		CacheMisses: m.CacheMisses.Load(),
-		CacheEvict:  m.CacheEvict.Load(),
-		Fallbacks:   m.Fallbacks.Load(),
-		Asserts:     m.Asserts.Load(),
-		Ingested:    m.FactsIngested.Load(),
-		Parallelism: m.EvalParallelism.Load(),
-		Routes:      make(map[string]RouteSnapshot, len(m.routes)),
+		Requests:     m.Requests.Load(),
+		Errors:       m.Errors.Load(),
+		InFlight:     m.InFlight.Load(),
+		Timeouts:     m.Timeouts.Load(),
+		CacheHits:    m.CacheHits.Load(),
+		CacheMisses:  m.CacheMisses.Load(),
+		CacheEvict:   m.CacheEvict.Load(),
+		Fallbacks:    m.Fallbacks.Load(),
+		Asserts:      m.Asserts.Load(),
+		Ingested:     m.FactsIngested.Load(),
+		Parallelism:  m.EvalParallelism.Load(),
+		WalAppends:   m.WalAppends.Load(),
+		WalFsyncs:    m.WalFsyncs.Load(),
+		Snapshots:    m.Snapshots.Load(),
+		SnapErrors:   m.SnapshotErrors.Load(),
+		FsyncLatency: m.fsyncLatency.snapshot(),
+		Routes:       make(map[string]RouteSnapshot, len(m.routes)),
 	}
 	for name, r := range m.routes {
 		s.Routes[name] = RouteSnapshot{

@@ -44,6 +44,22 @@ var promScalars = []promMetric{
 		func(m *Metrics) int64 { return m.FactsIngested.Load() }},
 	{"tddserve_eval_parallelism", "gauge", "Engine worker bound per evaluation (0 = sequential schedule).",
 		func(m *Metrics) int64 { return m.EvalParallelism.Load() }},
+	{"tddserve_wal_appends_total", "counter", "Fact batches appended to program write-ahead logs.",
+		func(m *Metrics) int64 { return m.WalAppends.Load() }},
+	{"tddserve_wal_fsyncs_total", "counter", "Fsync calls across all program logs.",
+		func(m *Metrics) int64 { return m.WalFsyncs.Load() }},
+	{"tddserve_wal_snapshots_total", "counter", "Snapshot + log-truncation cycles completed.",
+		func(m *Metrics) int64 { return m.Snapshots.Load() }},
+	{"tddserve_wal_snapshot_errors_total", "counter", "Snapshot attempts that failed (the batch stayed logged).",
+		func(m *Metrics) int64 { return m.SnapshotErrors.Load() }},
+	{"tddserve_follower_polls_total", "counter", "Leader poll cycles completed by a follower.",
+		func(m *Metrics) int64 { return m.FollowerPolls.Load() }},
+	{"tddserve_follower_records_applied_total", "counter", "Leader WAL records applied by a follower.",
+		func(m *Metrics) int64 { return m.FollowerRecords.Load() }},
+	{"tddserve_follower_errors_total", "counter", "Follower poll or apply failures, including divergence.",
+		func(m *Metrics) int64 { return m.FollowerErrors.Load() }},
+	{"tddserve_follower_lag_records", "gauge", "Leader batches not yet applied, summed over programs.",
+		func(m *Metrics) int64 { return m.FollowerLag.Load() }},
 }
 
 // promLe renders a bucket bound in seconds the way Prometheus clients do
@@ -56,9 +72,20 @@ func promLe(us int64) string {
 // per-route request/error counters and latency histograms, and per-warm-
 // program engine gauges. Route and program names are emitted sorted so
 // the output is deterministic (and testable line-for-line).
-func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats) {
+func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats, durability map[string]DurabilityStats) {
 	for _, s := range promScalars {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.load(m))
+	}
+
+	fmt.Fprintf(w, "# HELP tddserve_fsync_duration_seconds WAL fsync latency across all program logs.\n# TYPE tddserve_fsync_duration_seconds histogram\n")
+	{
+		buckets, count, sumUs := m.fsyncLatency.cumulative()
+		for i, bound := range bucketBoundsMicros {
+			fmt.Fprintf(w, "tddserve_fsync_duration_seconds_bucket{le=%q} %d\n", promLe(bound), buckets[i])
+		}
+		fmt.Fprintf(w, "tddserve_fsync_duration_seconds_bucket{le=\"+Inf\"} %d\n", buckets[len(buckets)-1])
+		fmt.Fprintf(w, "tddserve_fsync_duration_seconds_sum %s\n", strconv.FormatFloat(float64(sumUs)/1e6, 'g', -1, 64))
+		fmt.Fprintf(w, "tddserve_fsync_duration_seconds_count %d\n", count)
 	}
 
 	routes := make([]string, 0, len(m.routes))
@@ -120,5 +147,45 @@ func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats)
 		for _, id := range ids {
 			fmt.Fprintf(w, "%s{program=%q} %d\n", g.name, id, g.load(programs[id]))
 		}
+	}
+
+	if len(durability) == 0 {
+		return
+	}
+	dids := make([]string, 0, len(durability))
+	for id := range durability {
+		dids = append(dids, id)
+	}
+	sort.Strings(dids)
+	durGauges := []struct {
+		name, help string
+		load       func(DurabilityStats) int64
+	}{
+		{"tddserve_program_wal_seq", "Batches ingested into a program since registration.",
+			func(d DurabilityStats) int64 { return int64(d.Seq) }},
+		{"tddserve_program_durable_seq", "Highest batch sequence known fsynced for a program.",
+			func(d DurabilityStats) int64 { return int64(d.DurableSeq) }},
+		{"tddserve_program_snapshot_seq", "Batch sequence covered by the program's latest snapshot.",
+			func(d DurabilityStats) int64 { return int64(d.SnapshotSeq) }},
+		{"tddserve_program_wal_bytes", "Live WAL segment size in bytes for a program.",
+			func(d DurabilityStats) int64 { return d.WalBytes }},
+	}
+	for _, g := range durGauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		for _, id := range dids {
+			fmt.Fprintf(w, "%s{program=%q} %d\n", g.name, id, g.load(durability[id]))
+		}
+	}
+	fmt.Fprintf(w, "# HELP tddserve_program_snapshot_age_seconds Seconds since the program's latest snapshot (0 before any snapshot).\n# TYPE tddserve_program_snapshot_age_seconds gauge\n")
+	for _, id := range dids {
+		fmt.Fprintf(w, "tddserve_program_snapshot_age_seconds{program=%q} %s\n", id,
+			strconv.FormatFloat(durability[id].SnapshotAgeSec, 'g', -1, 64))
+	}
+	// The durable rev is a string, so expose it info-style: a constant-1
+	// gauge with the rev as a label, the idiom Prometheus uses for build
+	// and version identifiers.
+	fmt.Fprintf(w, "# HELP tddserve_program_durable_rev Last durable revision per program (info-style: value is always 1).\n# TYPE tddserve_program_durable_rev gauge\n")
+	for _, id := range dids {
+		fmt.Fprintf(w, "tddserve_program_durable_rev{program=%q,rev=%q} 1\n", id, durability[id].DurableRev)
 	}
 }

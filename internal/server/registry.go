@@ -22,8 +22,6 @@
 package server
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -32,6 +30,7 @@ import (
 
 	"tdd"
 	"tdd/internal/obs"
+	"tdd/internal/wal"
 )
 
 // ErrNotFound is returned by Lookup for an unregistered program id.
@@ -152,6 +151,15 @@ type Registry struct {
 	parallelism int
 	metrics     *Metrics
 
+	// wal, when non-nil, makes the registry durable: registrations write
+	// base.json, every ingested batch is appended to the program's log
+	// before it is published (log-before-publish: an acknowledged batch
+	// is always recoverable, a failed append is never visible), and
+	// every snapshotEvery batches the history is folded into a snapshot
+	// and the live log truncated. Set once before serving (EnableDurability).
+	wal           *wal.Store
+	snapshotEvery int
+
 	mu    sync.Mutex
 	progs map[string]*programSource // guarded-by: mu
 	cache *lru[*future]             // guarded-by: mu
@@ -179,26 +187,19 @@ func NewRegistry(cacheSize, maxWindow, parallelism int, m *Metrics) *Registry {
 }
 
 // hashSource derives the registry handle: a content hash, so registering
-// the same program twice — from any client — yields the same id.
+// the same program twice — from any client — yields the same id. The
+// hash lives in internal/wal because it roots every program's on-disk
+// rev chain; leaders and followers must agree on it byte for byte.
 func hashSource(unit, rules, facts string) string {
-	h := sha256.New()
-	h.Write([]byte(unit))
-	h.Write([]byte{0})
-	h.Write([]byte(rules))
-	h.Write([]byte{0})
-	h.Write([]byte(facts))
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return wal.HashSource(unit, rules, facts)
 }
 
 // nextRev advances the content revision by one ingested batch: a hash
 // chain, so the revision commits to the base program and the entire
-// ingestion history in order.
+// ingestion history in order. Shared with internal/wal, which verifies
+// the same chain on disk during recovery.
 func nextRev(rev, batch string) string {
-	h := sha256.New()
-	h.Write([]byte(rev))
-	h.Write([]byte{0})
-	h.Write([]byte(batch))
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return wal.NextRev(rev, batch)
 }
 
 // compile builds a warm entry: parse and validate, certify the period,
@@ -294,6 +295,13 @@ func (r *Registry) Register(unit, rules, facts string) (e *entry, existing bool,
 	ent, err := r.compile(src)
 	if err != nil {
 		return nil, false, err
+	}
+	// Durable registration: base.json must be on disk before the program
+	// is visible, so a crash right after the response still recovers it.
+	if r.wal != nil {
+		if _, err := r.wal.Create(wal.Base{ID: id, Unit: unit, Rules: rules, Facts: facts}); err != nil {
+			return nil, false, fmt.Errorf("persisting program: %w", err)
+		}
 	}
 	f := resolvedFuture(ent)
 
@@ -415,6 +423,38 @@ func (r *Registry) Ingest(id, facts string) (*entry, tdd.AssertResult, error) {
 		lint:     fork.Lint(nsrc.lintSource()),
 		tr:       ent.tr,
 	}
+	// Log-before-publish: the batch reaches the WAL (and, under
+	// fsync=always, stable storage) before any reader can observe it. A
+	// failed append rejects the whole ingest with nothing published — an
+	// acknowledged batch is always recoverable, a crashed one invisible.
+	if r.wal != nil {
+		lg := r.wal.Log(id)
+		if lg == nil {
+			return nil, res, fmt.Errorf("wal: program %s has no log (registered before durability was enabled?)", id)
+		}
+		rec := wal.Record{Seq: uint64(len(nsrc.extra)), Prev: src.rev, Rev: nsrc.rev, Batch: facts}
+		if err := lg.Append(rec); err != nil {
+			return nil, res, fmt.Errorf("wal append: %w", err)
+		}
+		r.metrics.WalAppends.Add(1)
+		if r.snapshotEvery > 0 && lg.SinceSnapshot() >= uint64(r.snapshotEvery) {
+			// The snapshot reuses the spec the ingest just exported — a
+			// spec snapshot costs no re-evaluation. Failure is tolerable:
+			// the batch itself is already in the log.
+			snap := wal.Snapshot{
+				Seq:     rec.Seq,
+				Rev:     nsrc.rev,
+				Base:    wal.Base{ID: id, Unit: nsrc.unit, Rules: nsrc.rules, Facts: nsrc.facts},
+				Records: chainRecords(nsrc),
+				Spec:    specJSON,
+			}
+			if err := lg.WriteSnapshot(snap); err != nil {
+				r.metrics.SnapshotErrors.Add(1)
+			} else {
+				r.metrics.Snapshots.Add(1)
+			}
+		}
+	}
 	r.mu.Lock()
 	r.progs[id] = nsrc
 	r.cache.put(id, resolvedFuture(ne))
@@ -422,6 +462,152 @@ func (r *Registry) Ingest(id, facts string) (*entry, tdd.AssertResult, error) {
 	r.metrics.Asserts.Add(1)
 	r.metrics.FactsIngested.Add(int64(res.NewFacts))
 	return ne, res, nil
+}
+
+// chainRecords rebuilds the WAL record history of a source from its
+// batch list by re-walking the rev hash chain from the id. programSource
+// values are immutable once published, so this needs no lock.
+func chainRecords(src *programSource) []wal.Record {
+	recs := make([]wal.Record, 0, len(src.extra))
+	rev := src.id
+	for i, batch := range src.extra {
+		next := nextRev(rev, batch)
+		recs = append(recs, wal.Record{Seq: uint64(i + 1), Prev: rev, Rev: next, Batch: batch})
+		rev = next
+	}
+	return recs
+}
+
+// EnableDurability attaches a WAL store: registrations and ingests
+// persist through it, and snapshotEvery batches per program trigger a
+// snapshot + log truncation (<= 0 disables snapshotting). Call once,
+// before serving, typically followed by RecoverFromWAL.
+func (r *Registry) EnableDurability(store *wal.Store, snapshotEvery int) {
+	r.wal = store
+	r.snapshotEvery = snapshotEvery
+}
+
+// RecoverFromWAL reconstructs the registry from the attached store:
+// every program's base sources and verified batch history become a
+// registered source, and (when warm is set) each program is recompiled
+// eagerly — replaying its batches through the eviction-safe replay path —
+// so a restarted server answers its first query from a warm cache.
+// Returns how many programs and batches were recovered.
+func (r *Registry) RecoverFromWAL(warm bool) (programs, batches int, err error) {
+	if r.wal == nil {
+		return 0, 0, errors.New("server: no WAL store attached")
+	}
+	recovered, err := r.wal.Recover()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, rec := range recovered {
+		extra := make([]string, 0, len(rec.Records))
+		for _, wr := range rec.Records {
+			extra = append(extra, wr.Batch)
+		}
+		src := &programSource{
+			id:    rec.Base.ID,
+			unit:  rec.Base.Unit,
+			rules: rec.Base.Rules,
+			facts: rec.Base.Facts,
+			rev:   rec.Rev,
+			extra: extra,
+		}
+		r.mu.Lock()
+		r.progs[src.id] = src
+		r.mu.Unlock()
+		programs++
+		batches += len(rec.Records)
+	}
+	if warm {
+		for _, id := range r.IDs() {
+			if _, err := r.Lookup(id); err != nil {
+				return programs, batches, fmt.Errorf("recompiling recovered program %s: %w", id, err)
+			}
+		}
+	}
+	return programs, batches, nil
+}
+
+// CloseWAL flushes and closes the attached store (no-op without one).
+// Called on shutdown after the worker pool has drained, so every
+// in-flight ingest has either fully appended or been rejected.
+func (r *Registry) CloseWAL() error {
+	if r.wal == nil {
+		return nil
+	}
+	return r.wal.Close()
+}
+
+// DurabilityStats reports per-program durability state (nil without a
+// WAL store).
+func (r *Registry) DurabilityStats() map[string]wal.LogStats {
+	if r.wal == nil {
+		return nil
+	}
+	return r.wal.Stats()
+}
+
+// SeqRev reports a registered program's batch count and current content
+// revision (the follower's replication cursor).
+func (r *Registry) SeqRev(id string) (seq uint64, rev string, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src, ok := r.progs[id]
+	if !ok {
+		return 0, "", false
+	}
+	return uint64(len(src.extra)), src.rev, true
+}
+
+// WalFeed is the GET /programs/{id}/wal response: the record history
+// from a replication cursor, plus the base sources when the cursor is 0
+// so an empty follower can bootstrap the program.
+type WalFeed struct {
+	ID      string       `json:"id"`
+	Seq     uint64       `json:"seq"`
+	Rev     string       `json:"rev"`
+	Base    *wal.Base    `json:"base,omitempty"`
+	Records []wal.Record `json:"records"`
+}
+
+// Feed builds the replication feed for a registered program from its
+// in-memory source state — it works with or without a WAL store, so any
+// leader can serve followers. from is the number of batches the caller
+// already has.
+func (r *Registry) Feed(id string, from uint64) (WalFeed, error) {
+	r.mu.Lock()
+	src, ok := r.progs[id]
+	r.mu.Unlock()
+	if !ok {
+		return WalFeed{}, ErrNotFound
+	}
+	recs := chainRecords(src)
+	feed := WalFeed{ID: id, Seq: uint64(len(recs)), Rev: src.rev, Records: []wal.Record{}}
+	if from < feed.Seq {
+		feed.Records = recs[from:]
+	}
+	if from == 0 {
+		feed.Base = &wal.Base{ID: id, Unit: src.unit, Rules: src.rules, Facts: src.facts}
+	}
+	return feed, nil
+}
+
+// ApplyReplicated folds one leader WAL record into a follower's
+// registry through the ordinary ingest path and verifies the resulting
+// revision matches the leader's — the replicated model is provably the
+// leader's model, not merely a similar one.
+func (r *Registry) ApplyReplicated(id string, rec wal.Record) error {
+	ent, _, err := r.Ingest(id, rec.Batch)
+	if err != nil {
+		return err
+	}
+	if ent.src.rev != rec.Rev {
+		return fmt.Errorf("server: replication divergence on %s: applied batch %d yields rev %s, leader says %s",
+			id, rec.Seq, ent.src.rev, rec.Rev)
+	}
+	return nil
 }
 
 // ProgramStats is the per-program engine section of the metrics snapshot:

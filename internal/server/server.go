@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"log/slog"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"tdd/internal/obs"
+	"tdd/internal/wal"
 )
 
 // Config tunes a Server. The zero value is usable: DefaultConfig fills in
@@ -47,6 +49,31 @@ type Config struct {
 	// off — profiling endpoints expose internals and should be opted
 	// into).
 	EnablePprof bool
+
+	// DataDir, when set, makes the server durable: every program lives
+	// under DataDir/programs/<id>/ as base sources, a periodic spec
+	// snapshot, and a write-ahead log of fact batches. On startup the
+	// directory is recovered and every program recompiled, so a restarted
+	// server answers warm.
+	DataDir string
+	// Fsync picks the WAL durability policy: "always" (fsync inside every
+	// append, full durability), "interval" (background fsync every
+	// FsyncInterval; default), or "off" (fsync only on close).
+	Fsync string
+	// FsyncInterval is the background fsync cadence under Fsync
+	// "interval" (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery folds a program's history into a snapshot and
+	// truncates its log every this many batches (default 64; <0
+	// disables snapshotting).
+	SnapshotEvery int
+	// Follow, when set to a leader's base URL, runs the server as a
+	// read-only follower: it tails the leader's WAL feed, applies every
+	// batch through the ordinary ingest path, and rejects writes with
+	// 403. Composable with DataDir (a durable follower).
+	Follow string
+	// FollowInterval is the leader poll cadence (default 500ms).
+	FollowInterval time.Duration
 }
 
 // DefaultConfig resolves unset fields.
@@ -69,12 +96,24 @@ func DefaultConfig(c Config) Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.Fsync == "" {
+		c.Fsync = "interval"
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 100 * time.Millisecond
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 64
+	}
+	if c.FollowInterval <= 0 {
+		c.FollowInterval = 500 * time.Millisecond
+	}
 	return c
 }
 
 // routeNames label metrics slots; they match the mux patterns below.
 var routeNames = []string{
-	"register", "list", "facts", "ask", "answers", "period", "spec", "healthz", "metrics", "metrics_prom",
+	"register", "list", "facts", "ask", "answers", "period", "spec", "wal", "healthz", "metrics", "metrics_prom",
 }
 
 // Server is the tddserve HTTP service: registry + spec cache + worker
@@ -87,11 +126,20 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	httpSrv *http.Server
+
+	// readOnly is set in follower mode: register and facts return 403.
+	readOnly bool
+	follower *follower
+	// recoveredPrograms/recoveredBatches report what RecoverFromWAL
+	// replayed at startup (boot banner, tests).
+	recoveredPrograms int
+	recoveredBatches  int
 }
 
-// New builds a Server (resolving cfg through DefaultConfig) and starts
-// its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server (resolving cfg through DefaultConfig), recovers
+// the data directory when one is configured, starts the follower loop
+// when a leader is configured, and starts the worker pool.
+func New(cfg Config) (*Server, error) {
 	cfg = DefaultConfig(cfg)
 	m := newMetrics(routeNames)
 	m.EvalParallelism.Store(int64(cfg.Parallelism))
@@ -102,6 +150,36 @@ func New(cfg Config) *Server {
 		pool:    NewPool(cfg.Workers, cfg.Queue),
 		mux:     http.NewServeMux(),
 	}
+	if cfg.DataDir != "" {
+		pol, err := wal.ParsePolicy(cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		store, err := wal.Open(cfg.DataDir, wal.Options{
+			Policy:   pol,
+			Interval: cfg.FsyncInterval,
+			FsyncObserver: func(d time.Duration) {
+				m.WalFsyncs.Add(1)
+				m.fsyncLatency.observe(d)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opening data directory: %w", err)
+		}
+		snapEvery := cfg.SnapshotEvery
+		if snapEvery < 0 {
+			snapEvery = 0
+		}
+		s.reg.EnableDurability(store, snapEvery)
+		// Recover warm: every program recompiled now, so the first query
+		// after a restart hits the same fast path as before the crash.
+		progs, batches, err := s.reg.RecoverFromWAL(true)
+		if err != nil {
+			store.Close() //nolint:errcheck // the recovery error wins
+			return nil, fmt.Errorf("recovering %s: %w", cfg.DataDir, err)
+		}
+		s.recoveredPrograms, s.recoveredBatches = progs, batches
+	}
 	s.route("POST /programs", "register", s.handleRegister)
 	s.route("GET /programs", "list", s.handleList)
 	s.route("POST /programs/{id}/facts", "facts", s.handleFacts)
@@ -109,6 +187,7 @@ func New(cfg Config) *Server {
 	s.route("POST /programs/{id}/answers", "answers", s.handleAnswers)
 	s.route("GET /programs/{id}/period", "period", s.handlePeriod)
 	s.route("GET /programs/{id}/spec", "spec", s.handleSpec)
+	s.route("GET /programs/{id}/wal", "wal", s.handleWAL)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("GET /metrics.prom", "metrics_prom", s.handleMetricsProm)
@@ -122,7 +201,17 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	if cfg.Follow != "" {
+		s.readOnly = true
+		s.follower = startFollower(s, cfg.Follow, cfg.FollowInterval)
+	}
+	return s, nil
+}
+
+// Recovered reports what startup recovery replayed from the data
+// directory (0, 0 without one).
+func (s *Server) Recovered() (programs, batches int) {
+	return s.recoveredPrograms, s.recoveredBatches
 }
 
 // Registry exposes the program registry (preloading, tests).
@@ -192,19 +281,35 @@ func (s *Server) Serve(l net.Listener) error {
 	return s.httpSrv.Serve(l)
 }
 
-// Shutdown gracefully stops the server: the listener closes, in-flight
-// requests get until ctx's deadline to finish, and only then is the
-// worker pool torn down (so no handler ever sees ErrPoolClosed except
-// past the deadline).
+// Shutdown gracefully stops the server. The ordering is the durability
+// guarantee: the listener closes and in-flight requests get until ctx's
+// deadline to finish; the follower loop stops; the worker pool is torn
+// down, which WAITS for every dispatched closure — so when the WAL store
+// finally flushes, fsyncs, and closes, no ingest can still be appending.
+// Every 2xx-acknowledged batch is fully on disk; an ingest racing the
+// shutdown either completed its append first or gets rejected with
+// ErrClosed (503) — never a torn record.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
+	if s.follower != nil {
+		s.follower.stop()
+	}
 	s.pool.Close()
+	if werr := s.reg.CloseWAL(); werr != nil && err == nil {
+		err = werr
+	}
 	return err
 }
 
 // Close releases resources without the graceful drain (tests using only
-// Handler).
-func (s *Server) Close() { s.pool.Close() }
+// Handler). The follower → pool → WAL ordering matches Shutdown.
+func (s *Server) Close() {
+	if s.follower != nil {
+		s.follower.stop()
+	}
+	s.pool.Close()
+	s.reg.CloseWAL() //nolint:errcheck // no caller to report to
+}

@@ -32,7 +32,10 @@ plane(0, hunter).
 // front end; both are torn down with the test.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -400,7 +403,10 @@ func TestRequestTimeout(t *testing.T) {
 // TestShutdownRejects checks that a closed pool turns requests into 503
 // rather than panics or hangs.
 func TestShutdownRejects(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	s.Close()

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALDecode drives the record decoder with arbitrary bytes. The
+// decoder is the trust boundary of recovery — it reads whatever a crash
+// (or a corrupted disk) left behind — so it must never panic, never
+// over-allocate on a forged length header, and must classify every
+// failure as a positioned torn-tail or corruption error while still
+// returning the good prefix.
+//
+// The seed corpus covers valid logs, truncations, and bit flips; the
+// fuzzer mutates from there.
+func FuzzWALDecode(f *testing.F) {
+	base := testBase()
+	recs := chain(0, base.ID, "odd(1).", "odd(3).\nodd(5).", "p(0, a).\nq(b).")
+	var valid bytes.Buffer
+	for _, r := range recs {
+		b, err := encodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid.Write(b)
+	}
+	f.Add([]byte(nil))
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()-5]) // torn tail
+	f.Add(valid.Bytes()[3:])             // desynced start
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[headerBytes+1] ^= 0x10
+	f.Add(flipped)                                                  // checksum failure
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5})            // forged huge length
+	f.Add([]byte{0, 0, 0, 2, 0, 0, 0, 0, '{', '}'})                 // bad checksum on tiny payload
+	f.Add(append([]byte{0, 0, 0, 0, 0, 0, 0, 0}, valid.Bytes()...)) // zero-length record prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, good, err := DecodeRecords(bytes.NewReader(data))
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("good offset %d outside [0, %d]", good, len(data))
+		}
+		if err != nil {
+			ce, ok := err.(*CorruptError)
+			if !ok {
+				t.Fatalf("decode error is not a *CorruptError: %v", err)
+			}
+			if ce.Offset != good {
+				t.Fatalf("error offset %d != good prefix end %d", ce.Offset, good)
+			}
+			if ce.Error() == "" {
+				t.Fatal("empty error message")
+			}
+		}
+		// The good prefix must re-decode to exactly the same records with
+		// no error: decode is deterministic and prefix-closed.
+		again, good2, err2 := DecodeRecords(bytes.NewReader(data[:good]))
+		if err2 != nil || good2 != good || len(again) != len(records) {
+			t.Fatalf("good prefix does not round-trip: %d/%d records, good %d/%d, err %v",
+				len(again), len(records), good2, good, err2)
+		}
+		// Re-encoding every decoded record must reproduce the prefix
+		// byte-for-byte (the format has one canonical encoding per record
+		// modulo JSON field order, so compare via a decode of the
+		// re-encoding instead of raw bytes).
+		var re bytes.Buffer
+		for _, r := range records {
+			b, err := encodeRecord(r)
+			if err != nil {
+				t.Fatalf("re-encoding decoded record: %v", err)
+			}
+			re.Write(b)
+		}
+		third, _, err3 := DecodeRecords(bytes.NewReader(re.Bytes()))
+		if err3 != nil || len(third) != len(records) {
+			t.Fatalf("re-encoded records do not decode: %v", err3)
+		}
+		for i := range records {
+			if third[i] != records[i] {
+				t.Fatalf("record %d mutated through encode/decode: %+v != %+v", i, third[i], records[i])
+			}
+		}
+	})
+}

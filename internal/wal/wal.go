@@ -1,0 +1,580 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Policy selects when appended records are fsynced to stable storage.
+type Policy int
+
+const (
+	// FsyncAlways syncs inside every Append: a batch is acknowledged only
+	// once durable. The safest and slowest policy.
+	FsyncAlways Policy = iota
+	// FsyncInterval syncs dirty logs on a background ticker (and on
+	// Close): a crash can lose up to one interval of acknowledged batches,
+	// never tear one.
+	FsyncInterval
+	// FsyncOff leaves syncing to the OS (and Close). Crash loss is
+	// unbounded; tearing is still repaired by recovery truncation.
+	FsyncOff
+)
+
+// ParsePolicy maps the tddserve -fsync flag values.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// Options configures a Store.
+type Options struct {
+	// Policy selects the fsync discipline (default FsyncAlways).
+	Policy Policy
+	// Interval is the background sync period for FsyncInterval
+	// (default 100ms).
+	Interval time.Duration
+	// FsyncObserver, if non-nil, receives the latency of every fsync —
+	// the server feeds its fsync histogram with it.
+	FsyncObserver func(time.Duration)
+}
+
+// Store is the root of a data directory: one Log per program, a shared
+// fsync policy, and the background interval-sync loop. Safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	logs   map[string]*Log // guarded-by: mu
+	closed bool            // guarded-by: mu
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// Open prepares dir (creating programs/ if needed) and starts the
+// interval-sync loop when the policy asks for one. Call Recover before
+// creating new logs so existing programs are loaded first.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "programs"), 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		logs: make(map[string]*Log),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if opts.Policy == FsyncInterval {
+		go s.syncLoop()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) syncLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			for _, l := range s.snapshotLogs() {
+				l.Sync() //nolint:errcheck // surfaced on the next append
+			}
+		}
+	}
+}
+
+// snapshotLogs copies the live log set so syncing happens outside mu.
+func (s *Store) snapshotLogs() []*Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Log, 0, len(s.logs))
+	for _, l := range s.logs {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Recovered is one program reconstructed from disk: its base sources and
+// the full verified record history (snapshot records plus the live log
+// tail). TornTail reports that an incomplete final record — a crash
+// mid-append — was dropped and the log truncated back to the last good
+// boundary.
+type Recovered struct {
+	Base     Base
+	Records  []Record
+	Seq      uint64
+	Rev      string
+	TornTail bool
+}
+
+// Recover scans programs/, verifies every program's chain, repairs torn
+// tails, and reopens each log for appending. It must run before Create
+// so prior history is never shadowed. Mid-log corruption (a checksum
+// failure before the tail) fails recovery for the whole store: durable
+// data that cannot be trusted should stop the boot loudly, not silently
+// shrink.
+func (s *Store) Recover() ([]Recovered, error) {
+	root := filepath.Join(s.dir, "programs")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []Recovered
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		rec, err := s.recoverProgram(ent.Name())
+		if err != nil {
+			return nil, fmt.Errorf("recovering program %s: %w", ent.Name(), err)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base.ID < out[j].Base.ID })
+	return out, nil
+}
+
+func (s *Store) recoverProgram(id string) (Recovered, error) {
+	dir := filepath.Join(s.dir, "programs", id)
+	var base Base
+	if err := readJSON(filepath.Join(dir, "base.json"), &base); err != nil {
+		return Recovered{}, fmt.Errorf("reading base: %w", err)
+	}
+	if base.ID != id {
+		return Recovered{}, fmt.Errorf("base.json claims id %s inside directory %s", base.ID, id)
+	}
+	if got := HashSource(base.Unit, base.Rules, base.Facts); got != id {
+		return Recovered{}, fmt.Errorf("base sources hash to %s, not %s — sources were altered", got, id)
+	}
+
+	rec := Recovered{Base: base, Rev: id}
+	var snap Snapshot
+	snapPath := filepath.Join(dir, "snapshot.json")
+	haveSnap := false
+	if err := readJSON(snapPath, &snap); err == nil {
+		haveSnap = true
+		seq, rev, err := VerifyChain(0, id, snap.Records)
+		if err != nil {
+			return Recovered{}, fmt.Errorf("snapshot: %w", err)
+		}
+		if seq != snap.Seq || rev != snap.Rev {
+			return Recovered{}, fmt.Errorf("snapshot claims (seq %d, rev %s) but its records end at (%d, %s)",
+				snap.Seq, snap.Rev, seq, rev)
+		}
+		rec.Records = snap.Records
+		rec.Seq, rec.Rev = seq, rev
+	} else if !os.IsNotExist(err) {
+		return Recovered{}, fmt.Errorf("reading snapshot: %w", err)
+	}
+
+	logPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(logPath)
+	if err != nil && !os.IsNotExist(err) {
+		return Recovered{}, err
+	}
+	tail, good, derr := DecodeRecords(bytes.NewReader(data))
+	if derr != nil {
+		ce, ok := derr.(*CorruptError)
+		if !ok || !ce.Torn {
+			return Recovered{}, derr
+		}
+		// A torn final record is the expected wound of a crash
+		// mid-append: the batch was never acknowledged, so dropping it
+		// restores exactly the acknowledged history.
+		if err := os.Truncate(logPath, good); err != nil {
+			return Recovered{}, fmt.Errorf("truncating torn tail: %w", err)
+		}
+		rec.TornTail = true
+	}
+	// A crash between snapshot rename and log truncation leaves records
+	// the snapshot already folded in; skip them rather than double-apply.
+	for len(tail) > 0 && tail[0].Seq <= rec.Seq {
+		tail = tail[1:]
+	}
+	seq, rev, err := VerifyChain(rec.Seq, rec.Rev, tail)
+	if err != nil {
+		return Recovered{}, err
+	}
+	rec.Records = append(rec.Records, tail...)
+	rec.Seq, rec.Rev = seq, rev
+
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return Recovered{}, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return Recovered{}, err
+	}
+	l := &Log{
+		store: s, id: id, dir: dir, f: f,
+		seq: rec.Seq, rev: rec.Rev,
+		syncedSeq: rec.Seq, syncedRev: rec.Rev,
+		bytes: st.Size(),
+	}
+	if haveSnap {
+		l.snapSeq = snap.Seq
+		if t, err := os.Stat(snapPath); err == nil {
+			l.snapTime = t.ModTime()
+		}
+	}
+	s.mu.Lock()
+	s.logs[id] = l
+	s.mu.Unlock()
+	return rec, nil
+}
+
+// Create opens (or reopens) the log for a newly registered program,
+// writing base.json durably first. Creating an id that already exists
+// with the same base is idempotent — the content hash guarantees two
+// racing registrations carry identical sources.
+func (s *Store) Create(base Base) (*Log, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if l, ok := s.logs[base.ID]; ok {
+		s.mu.Unlock()
+		return l, nil
+	}
+	s.mu.Unlock()
+
+	dir := filepath.Join(s.dir, "programs", base.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeFileDurable(filepath.Join(dir, "base.json"), mustJSON(base)); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{store: s, id: base.ID, dir: dir, f: f, rev: base.ID, syncedRev: base.ID}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		f.Close()
+		return nil, ErrClosed
+	}
+	if cur, ok := s.logs[base.ID]; ok { // lost a create race; both wrote identical bytes
+		f.Close()
+		return cur, nil
+	}
+	s.logs[base.ID] = l
+	return l, nil
+}
+
+// Log returns the open log for id, or nil if the program is unknown to
+// the store.
+func (s *Store) Log(id string) *Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logs[id]
+}
+
+// Close stops the sync loop and flushes and closes every log: any
+// acknowledged-but-unsynced bytes reach stable storage before the
+// process exits. Appends racing with Close either complete (and are
+// synced here) or observe ErrClosed and are rejected upstream — a batch
+// is never half-written.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	logs := make([]*Log, 0, len(s.logs))
+	for _, l := range s.logs {
+		logs = append(logs, l)
+	}
+	s.mu.Unlock()
+
+	close(s.stop)
+	<-s.done
+
+	var first error
+	for _, l := range logs {
+		if err := l.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// LogStats is one program's durability state, served under /metrics.
+type LogStats struct {
+	// Seq and Rev are the last appended (acknowledged) batch.
+	Seq uint64 `json:"seq"`
+	Rev string `json:"rev"`
+	// DurableSeq and DurableRev are the last batch known fsynced; equal
+	// to Seq/Rev under FsyncAlways, trailing by up to one interval
+	// otherwise.
+	DurableSeq uint64 `json:"durable_seq"`
+	DurableRev string `json:"durable_rev"`
+	// SnapshotSeq is the last batch folded into snapshot.json (0 =
+	// never snapshotted); SnapshotAge is how long ago that was.
+	SnapshotSeq uint64        `json:"snapshot_seq"`
+	SnapshotAge time.Duration `json:"-"`
+	// Bytes is the live wal.log size.
+	Bytes int64 `json:"wal_bytes"`
+}
+
+// Stats reports per-program durability state.
+func (s *Store) Stats() map[string]LogStats {
+	s.mu.Lock()
+	logs := make(map[string]*Log, len(s.logs))
+	for id, l := range s.logs {
+		logs[id] = l
+	}
+	s.mu.Unlock()
+	out := make(map[string]LogStats, len(logs))
+	for id, l := range logs {
+		out[id] = l.stats()
+	}
+	return out
+}
+
+// Log is one program's append-only record log plus its snapshot state.
+// Appends are serialized by the registry's per-program writer lock and
+// additionally by mu (the interval sync loop shares the file).
+type Log struct {
+	store *Store
+	id    string
+	dir   string
+
+	mu        sync.Mutex
+	f         *os.File // guarded-by: mu
+	seq       uint64   // guarded-by: mu — last appended
+	rev       string   // guarded-by: mu
+	syncedSeq uint64   // guarded-by: mu — last fsynced
+	syncedRev string   // guarded-by: mu
+	dirty     bool     // guarded-by: mu
+	snapSeq   uint64   // guarded-by: mu
+	snapTime  time.Time
+	bytes     int64 // guarded-by: mu
+	closed    bool  // guarded-by: mu
+}
+
+// Append writes one record and, under FsyncAlways, syncs it before
+// returning: a nil return means the batch is fully in the log (and
+// durable under FsyncAlways). The record must continue the chain.
+func (l *Log) Append(rec Record) error {
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if rec.Seq != l.seq+1 || rec.Prev != l.rev {
+		return fmt.Errorf("wal: append (seq %d, prev %s) does not continue (%d, %s)",
+			rec.Seq, rec.Prev, l.seq, l.rev)
+	}
+	if got := NextRev(rec.Prev, rec.Batch); got != rec.Rev {
+		return fmt.Errorf("wal: append claims rev %s but its batch hashes to %s", rec.Rev, got)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	l.seq, l.rev = rec.Seq, rec.Rev
+	l.bytes += int64(len(buf))
+	l.dirty = true
+	if l.store.opts.Policy == FsyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Sync fsyncs any appended-but-unsynced bytes.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+//tddlint:holds mu
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if obs := l.store.opts.FsyncObserver; obs != nil {
+		obs(time.Since(start))
+	}
+	l.dirty = false
+	l.syncedSeq, l.syncedRev = l.seq, l.rev
+	return nil
+}
+
+// Snapshot is the compaction unit: the base sources, every record up to
+// Seq, and the relational specification at that revision. It makes
+// recovery a single JSON read plus the live tail, and lets the live log
+// be truncated.
+type Snapshot struct {
+	Seq     uint64          `json:"seq"`
+	Rev     string          `json:"rev"`
+	Base    Base            `json:"base"`
+	Records []Record        `json:"records"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+}
+
+// SinceSnapshot reports how many appended batches the last snapshot does
+// not cover — the trigger for the next one.
+func (l *Log) SinceSnapshot() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq - l.snapSeq
+}
+
+// WriteSnapshot durably writes snap (tmp + fsync + rename) and then
+// truncates the live log. The ordering is the recovery invariant: the
+// snapshot is on disk before any record it covers disappears, and a
+// crash between rename and truncation merely leaves duplicate records
+// that recovery skips by sequence number.
+func (l *Log) WriteSnapshot(snap Snapshot) error {
+	if snap.Seq == 0 || len(snap.Records) == 0 {
+		return fmt.Errorf("wal: refusing an empty snapshot")
+	}
+	if _, _, err := VerifyChain(0, snap.Base.ID, snap.Records); err != nil {
+		return fmt.Errorf("wal: snapshot does not verify: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if snap.Seq > l.seq {
+		return fmt.Errorf("wal: snapshot at seq %d beyond the log's %d", snap.Seq, l.seq)
+	}
+	// The covered records must be synced before they may be dropped from
+	// the live log.
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := writeFileDurable(filepath.Join(l.dir, "snapshot.json"), mustJSON(snap)); err != nil {
+		return err
+	}
+	if snap.Seq == l.seq {
+		// Common case: snapshotting right after an append — the whole
+		// live log is covered, truncate it to empty.
+		if err := l.f.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		l.bytes = 0
+	}
+	l.snapSeq = snap.Seq
+	l.snapTime = time.Now()
+	return nil
+}
+
+func (l *Log) stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LogStats{
+		Seq: l.seq, Rev: l.rev,
+		DurableSeq: l.syncedSeq, DurableRev: l.syncedRev,
+		SnapshotSeq: l.snapSeq,
+		Bytes:       l.bytes,
+	}
+	if !l.snapTime.IsZero() {
+		st.SnapshotAge = time.Since(l.snapTime)
+	}
+	return st
+}
+
+func (l *Log) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeFileDurable writes data via a temp file, fsyncs it, and renames
+// it into place, so the named file is always either the old or the new
+// complete content.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		panic(err) // all persisted types marshal
+	}
+	return append(data, '\n')
+}

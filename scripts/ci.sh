@@ -62,4 +62,10 @@ go test -run '^$' -bench '^BenchmarkParallelFixpoint$' -benchtime 1x ./internal/
 echo "==> parser fuzz smoke (5s)"
 go test ./internal/parser/ -run '^$' -fuzz '^FuzzParseUnit$' -fuzztime 5s
 
+echo "==> WAL decoder fuzz smoke (5s)"
+# The WAL decoder is the trust boundary of crash recovery: arbitrary
+# bytes must never panic it, and every failure must come back as a
+# positioned, checksum-aware torn/corrupt classification.
+go test ./internal/wal/ -run '^$' -fuzz '^FuzzWALDecode$' -fuzztime 5s
+
 echo "ci: all checks passed"
