@@ -61,12 +61,11 @@ func runDetFix(p *Pass) {
 			}
 			p.Reportf(imp.Pos(), "import of %q brings %s into fixpoint code; the engine's output must be deterministic across runs and worker counts", path, why)
 		}
-		if allowClock {
-			continue
-		}
 		// Belt and braces: a dot-import or renamed import still surfaces
 		// as the path above, but also flag direct selector uses in case a
 		// future refactor routes them through an allowed wrapper import.
+		// The wall-clock allowlist exempts time selectors only — rand
+		// selectors stay flagged even in allowlisted packages.
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -76,8 +75,13 @@ func runDetFix(p *Pass) {
 			if !ok {
 				return true
 			}
-			if id.Name == "time" && sel.Sel.Name == "Now" {
-				p.Reportf(sel.Pos(), "time.Now in fixpoint code; derive timestamps outside internal/engine and internal/core")
+			switch id.Name {
+			case "time":
+				if !allowClock && sel.Sel.Name == "Now" {
+					p.Reportf(sel.Pos(), "time.Now in fixpoint code; derive timestamps outside internal/engine and internal/core")
+				}
+			case "rand":
+				p.Reportf(sel.Pos(), "rand.%s in fixpoint code; the engine's output must be deterministic across runs and worker counts", sel.Sel.Name)
 			}
 			return true
 		})

@@ -99,13 +99,25 @@ func (f *follower) poll() {
 // leader batches remain unapplied (normally 0; nonzero only when an
 // apply failed part-way).
 func (f *follower) replicate(id string) (behind int64, err error) {
-	from, _, known := f.srv.reg.SeqRev(id)
+	from, rev, known := f.srv.reg.SeqRev(id)
 	if !known {
 		from = 0
 	}
 	var feed WalFeed
 	if err := f.getJSON(fmt.Sprintf("%s/programs/%s/wal?from=%d", f.leader, id, from), &feed); err != nil {
 		return 0, err
+	}
+	if known {
+		// A leader that restarted with less history than we hold (or
+		// rewrote history at our cursor) has forked from us: the feed
+		// cannot repair that, so report divergence instead of letting the
+		// empty tail read as "fully caught up" with lag 0.
+		if feed.Seq < from {
+			return 0, fmt.Errorf("leader has only %d batches for %s, local has %d — leader lost history, follower state is forked", feed.Seq, id, from)
+		}
+		if feed.Seq == from && feed.Rev != rev {
+			return 0, fmt.Errorf("diverged on %s at seq %d: local rev %s, leader %s", id, from, rev, feed.Rev)
+		}
 	}
 	if !known {
 		if feed.Base == nil {

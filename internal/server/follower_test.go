@@ -6,7 +6,9 @@ package server
 // refuse local writes.
 
 import (
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -143,5 +145,70 @@ func TestDurableFollower(t *testing.T) {
 	wantSeq, wantRev, _ := leader.Registry().SeqRev(id)
 	if !ok || seq != wantSeq || rev != wantRev {
 		t.Fatalf("restarted replica at (%d, %s), leader at (%d, %s)", seq, rev, wantSeq, wantRev)
+	}
+}
+
+// TestFollowerDetectsLeaderLostHistory: a leader that comes back with
+// less history than the follower holds (lost data dir) — or with the
+// same count but a different chain — must surface as a divergence error,
+// not as behind=0 / lag 0 "fully caught up".
+func TestFollowerDetectsLeaderLostHistory(t *testing.T) {
+	leaderA, ltsA := newTestServer(t, Config{})
+	ent, _, err := leaderA.Registry().Register(evenUnit, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ent.ID()
+	for _, b := range []string{"even(31).\n", "even(33).\n"} {
+		if _, _, err := leaderA.Registry().Ingest(id, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drive replication by hand (no poll loop): the follower converges to
+	// leader A at seq 2.
+	fol, _ := newTestServer(t, Config{})
+	client := &http.Client{Timeout: 5 * time.Second}
+	fA := &follower{srv: fol, leader: ltsA.URL, client: client}
+	if behind, err := fA.replicate(id); err != nil || behind != 0 {
+		t.Fatalf("initial replication: behind=%d err=%v", behind, err)
+	}
+	seq, rev, _ := fol.Registry().SeqRev(id)
+	if seq != 2 {
+		t.Fatalf("follower at seq %d, want 2", seq)
+	}
+
+	// Leader "restarts" non-durably with only one of the batches: its
+	// feed ends before the follower's cursor.
+	leaderB, ltsB := newTestServer(t, Config{})
+	if _, _, err := leaderB.Registry().Register(evenUnit, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := leaderB.Registry().Ingest(id, "even(31).\n"); err != nil {
+		t.Fatal(err)
+	}
+	fB := &follower{srv: fol, leader: ltsB.URL, client: client}
+	if behind, err := fB.replicate(id); err == nil || !strings.Contains(err.Error(), "lost history") {
+		t.Fatalf("short leader: behind=%d err=%v, want lost-history error", behind, err)
+	}
+
+	// Same batch count, different chain: equal seq must compare revs.
+	leaderC, ltsC := newTestServer(t, Config{})
+	if _, _, err := leaderC.Registry().Register(evenUnit, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"even(41).\n", "even(43).\n"} {
+		if _, _, err := leaderC.Registry().Ingest(id, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fC := &follower{srv: fol, leader: ltsC.URL, client: client}
+	if behind, err := fC.replicate(id); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("rewritten leader: behind=%d err=%v, want diverged error", behind, err)
+	}
+
+	// The follower's own state never moved through any of it.
+	if s2, r2, _ := fol.Registry().SeqRev(id); s2 != seq || r2 != rev {
+		t.Fatalf("follower state moved to (%d, %s) during divergence, was (%d, %s)", s2, r2, seq, rev)
 	}
 }

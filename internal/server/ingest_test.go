@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"tdd/internal/wal"
 )
 
 // ingest posts one fact batch and decodes the response.
@@ -200,5 +202,92 @@ func TestIngestMetrics(t *testing.T) {
 	}
 	if ps.Period.P == 0 {
 		t.Fatalf("period not reported: %+v", ps)
+	}
+}
+
+// TestRegisterRaceDoesNotClobberIngestedState pins the publish-or-drop
+// rule: a duplicate registration that finishes compiling after the first
+// copy has published — and after clients have ingested batches — must
+// not overwrite the cache with its stale base-only entry. publish is the
+// exact critical section both racing Registers funnel through.
+func TestRegisterRaceDoesNotClobberIngestedState(t *testing.T) {
+	reg := NewRegistry(8, 0, 0, newMetrics(routeNames))
+	ent, _, err := reg.Register(evenUnit, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ent.ID()
+	if _, _, err := reg.Ingest(id, "even(100).\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The slow duplicate: it passed Register's early exists-check before
+	// the first copy published, compiled from base sources only, and now
+	// tries to publish while the program has moved on.
+	stale := &programSource{id: id, unit: evenUnit, rev: id}
+	sent, err := reg.compile(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.publish(stale, sent) {
+		t.Fatal("stale duplicate registration won the publish race")
+	}
+
+	// The served entry still carries the ingested batch.
+	cur, err := reg.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := nextRev(id, "even(100).\n"); cur.Rev() != want {
+		t.Fatalf("served rev %s, want %s — cache clobbered by stale registration", cur.Rev(), want)
+	}
+	got, _, err := cur.ask("even(100)", reg.metrics, nil)
+	if err != nil || !got {
+		t.Fatalf("ingested fact lost after duplicate registration: %v %v", got, err)
+	}
+	// And the registered source agrees, so the next Ingest chains off the
+	// full history.
+	if seq, rev, _ := reg.SeqRev(id); seq != 1 || rev != cur.Rev() {
+		t.Fatalf("source at (%d, %s), want (1, %s)", seq, rev, cur.Rev())
+	}
+}
+
+// TestApplyReplicatedRejectsDivergentRecordPrePublish: a leader record
+// that does not continue the follower's local chain must be rejected
+// before anything is ingested or published — a diverged model is never
+// served, not even transiently.
+func TestApplyReplicatedRejectsDivergentRecordPrePublish(t *testing.T) {
+	reg := NewRegistry(8, 0, 0, newMetrics(routeNames))
+	ent, _, err := reg.Register(evenUnit, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ent.ID()
+
+	// Wrong prev (the chain does not continue local state).
+	bad := wal.Record{Seq: 1, Prev: "bogus", Rev: wal.NextRev("bogus", "even(50).\n"), Batch: "even(50).\n"}
+	if err := reg.ApplyReplicated(id, bad); err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("wrong-prev record: err = %v, want divergence", err)
+	}
+	// Wrong claimed rev with a correct prev.
+	bad = wal.Record{Seq: 1, Prev: id, Rev: "wrong", Batch: "even(50).\n"}
+	if err := reg.ApplyReplicated(id, bad); err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("wrong-rev record: err = %v, want divergence", err)
+	}
+	// Nothing was published by either rejection.
+	if seq, rev, _ := reg.SeqRev(id); seq != 0 || rev != id {
+		t.Fatalf("divergent record mutated local state: (%d, %s), want (0, %s)", seq, rev, id)
+	}
+	if cur, err := reg.Lookup(id); err != nil || cur.Rev() != id {
+		t.Fatalf("served entry moved: rev %s, want %s (err %v)", cur.Rev(), id, err)
+	}
+
+	// A record that does continue the chain applies normally.
+	good := wal.Record{Seq: 1, Prev: id, Rev: nextRev(id, "even(50).\n"), Batch: "even(50).\n"}
+	if err := reg.ApplyReplicated(id, good); err != nil {
+		t.Fatal(err)
+	}
+	if seq, rev, _ := reg.SeqRev(id); seq != 1 || rev != good.Rev {
+		t.Fatalf("good record left state at (%d, %s), want (1, %s)", seq, rev, good.Rev)
 	}
 }

@@ -289,8 +289,8 @@ func (r *Registry) Register(unit, rules, facts string) (e *entry, existing bool,
 
 	// Compile outside the lock; registration of distinct programs
 	// proceeds in parallel. Two racing registrations of the same program
-	// both compile — idempotent, and the second simply refreshes the
-	// cache slot.
+	// both compile — idempotent; the loser's entry is discarded by
+	// publish below.
 	src := &programSource{id: id, unit: unit, rules: rules, facts: facts, rev: id}
 	ent, err := r.compile(src)
 	if err != nil {
@@ -303,16 +303,34 @@ func (r *Registry) Register(unit, rules, facts string) (e *entry, existing bool,
 			return nil, false, fmt.Errorf("persisting program: %w", err)
 		}
 	}
-	f := resolvedFuture(ent)
-
-	r.mu.Lock()
-	if _, ok := r.progs[id]; !ok {
-		r.progs[id] = src
+	if !r.publish(src, ent) {
+		// Lost the publish race: a concurrent Register finished first, and
+		// ingests may already have advanced the program past this compile's
+		// base-only state. Overwriting the cache with our entry would
+		// silently serve a model missing those batches, so drop it and read
+		// back whatever is current.
+		e, err = r.Lookup(id)
+		return e, true, err
 	}
-	r.cache.put(id, f)
-	r.mu.Unlock()
 	r.metrics.CacheMisses.Add(1)
 	return ent, false, nil
+}
+
+// publish atomically installs a freshly compiled registration: source
+// and cache slot move together, so the cached entry never lags the
+// registered source. It installs nothing and reports false when another
+// registration won the race — by then the program may have ingested
+// batches, so the caller's base-only entry is potentially stale and must
+// be discarded, never cached.
+func (r *Registry) publish(src *programSource, ent *entry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.progs[src.id]; ok {
+		return false
+	}
+	r.progs[src.id] = src
+	r.cache.put(src.id, resolvedFuture(ent))
+	return true
 }
 
 // Lookup returns the warm entry for a registered id, recompiling on a
@@ -595,14 +613,31 @@ func (r *Registry) Feed(id string, from uint64) (WalFeed, error) {
 }
 
 // ApplyReplicated folds one leader WAL record into a follower's
-// registry through the ordinary ingest path and verifies the resulting
-// revision matches the leader's — the replicated model is provably the
-// leader's model, not merely a similar one.
+// registry through the ordinary ingest path. The record is verified
+// against the local chain BEFORE ingesting — a divergent batch is
+// rejected pre-publish (and, on a durable follower, pre-WAL-append), so
+// a diverged model is never served, not even read-only — and the
+// resulting revision is re-checked after the ingest, so the replicated
+// model is provably the leader's model, not merely a similar one.
 func (r *Registry) ApplyReplicated(id string, rec wal.Record) error {
+	seq, rev, ok := r.SeqRev(id)
+	if !ok {
+		return ErrNotFound
+	}
+	if rec.Seq != seq+1 || rec.Prev != rev {
+		return fmt.Errorf("server: replication divergence on %s: leader record (seq %d, prev %s) does not continue local state (seq %d, rev %s)",
+			id, rec.Seq, rec.Prev, seq, rev)
+	}
+	if got := nextRev(rec.Prev, rec.Batch); got != rec.Rev {
+		return fmt.Errorf("server: replication divergence on %s: batch %d hashes to %s, leader says %s",
+			id, rec.Seq, got, rec.Rev)
+	}
 	ent, _, err := r.Ingest(id, rec.Batch)
 	if err != nil {
 		return err
 	}
+	// Unreachable unless a local writer raced the replication loop —
+	// followers are read-only, so this is belt and braces.
 	if ent.src.rev != rec.Rev {
 		return fmt.Errorf("server: replication divergence on %s: applied batch %d yields rev %s, leader says %s",
 			id, rec.Seq, ent.src.rev, rec.Rev)

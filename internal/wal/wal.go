@@ -386,6 +386,14 @@ type Log struct {
 	snapTime  time.Time
 	bytes     int64 // guarded-by: mu
 	closed    bool  // guarded-by: mu
+	// failed is set when a partial append could not be truncated away:
+	// the file ends in torn bytes, and writing anything after them would
+	// turn a repairable torn tail into fatal mid-log corruption. All
+	// further writes are rejected with this error. guarded-by: mu
+	failed error
+	// writeHook, when non-nil, replaces f.Write — fault injection for the
+	// partial-write tests. guarded-by: mu
+	writeHook func([]byte) (int, error)
 }
 
 // Append writes one record and, under FsyncAlways, syncs it before
@@ -401,6 +409,9 @@ func (l *Log) Append(rec Record) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.failed != nil {
+		return l.failed
+	}
 	if rec.Seq != l.seq+1 || rec.Prev != l.rev {
 		return fmt.Errorf("wal: append (seq %d, prev %s) does not continue (%d, %s)",
 			rec.Seq, rec.Prev, l.seq, l.rev)
@@ -408,7 +419,22 @@ func (l *Log) Append(rec Record) error {
 	if got := NextRev(rec.Prev, rec.Batch); got != rec.Rev {
 		return fmt.Errorf("wal: append claims rev %s but its batch hashes to %s", rec.Rev, got)
 	}
-	if _, err := l.f.Write(buf); err != nil {
+	write := l.f.Write
+	if l.writeHook != nil {
+		write = l.writeHook
+	}
+	if _, err := write(buf); err != nil {
+		// A short write (ENOSPC, I/O error) leaves partial record bytes
+		// after the last good boundary. Recovery treats mid-log corruption
+		// as fatal, so a later successful append must never bury them:
+		// truncate back to the acknowledged prefix — the file is opened
+		// O_APPEND, so the next write lands at the new end. If even the
+		// truncate fails, poison the log so appends are rejected rather
+		// than written after the torn bytes (recovery's torn-tail repair
+		// then restores the acknowledged history).
+		if terr := l.f.Truncate(l.bytes); terr != nil {
+			l.failed = fmt.Errorf("wal: log left torn at byte %d: append failed (%v), truncate failed (%v)", l.bytes, err, terr)
+		}
 		return err
 	}
 	l.seq, l.rev = rec.Seq, rec.Rev
@@ -483,6 +509,9 @@ func (l *Log) WriteSnapshot(snap Snapshot) error {
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
+	}
+	if l.failed != nil {
+		return l.failed
 	}
 	if snap.Seq > l.seq {
 		return fmt.Errorf("wal: snapshot at seq %d beyond the log's %d", snap.Seq, l.seq)

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -374,4 +375,103 @@ func TestCreateIsIdempotent(t *testing.T) {
 	if l1 != l2 {
 		t.Error("second Create returned a different log")
 	}
+}
+
+// TestAppendPartialWriteTruncatesBack: a failed append (ENOSPC, I/O
+// error) that leaves partial record bytes must not let the next
+// successful append bury them mid-log — which recovery treats as fatal.
+// The log truncates back to the last record boundary and keeps working.
+func TestAppendPartialWriteTruncatesBack(t *testing.T) {
+	dir := t.TempDir()
+	base := testBase()
+	recs := chain(0, base.ID, "odd(1).", "odd(3).", "odd(5).")
+
+	s := openStore(t, dir, Options{Policy: FsyncAlways})
+	l, err := s.Create(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject one short write: half the record's bytes land, then the
+	// disk "fills up".
+	failNext := true
+	l.mu.Lock()
+	l.writeHook = func(b []byte) (int, error) {
+		if !failNext {
+			return l.f.Write(b)
+		}
+		failNext = false
+		n, _ := l.f.Write(b[:len(b)/2])
+		return n, errors.New("injected: no space left on device")
+	}
+	l.mu.Unlock()
+	if err := l.Append(recs[1]); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("append = %v, want the injected write error", err)
+	}
+
+	// The torn bytes are gone: retrying the same record appends cleanly
+	// after the first one, and the chain keeps extending.
+	if err := l.Append(recs[1]); err != nil {
+		t.Fatalf("append after repaired short write: %v", err)
+	}
+	if err := l.Append(recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := openStore(t, dir, Options{}).Recover()
+	if err != nil {
+		t.Fatalf("recovery after repaired short write: %v", err)
+	}
+	if len(got) != 1 || got[0].Seq != 3 || got[0].TornTail {
+		t.Fatalf("recovered %+v, want a clean log at seq 3", got)
+	}
+}
+
+// TestAppendPoisonsLogWhenTruncateFails: if the truncate-back repair
+// itself fails, the log must reject all further appends — writing after
+// the torn bytes would turn a repairable torn tail into fatal mid-log
+// corruption.
+func TestAppendPoisonsLogWhenTruncateFails(t *testing.T) {
+	dir := t.TempDir()
+	base := testBase()
+	recs := chain(0, base.ID, "odd(1).", "odd(3).")
+
+	s := openStore(t, dir, Options{Policy: FsyncOff})
+	l, err := s.Create(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap the fd for a read-only one: the write fails and so does the
+	// truncate repair.
+	ro, err := os.Open(filepath.Join(dir, "programs", base.ID, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	orig := l.f
+	l.f = ro
+	l.mu.Unlock()
+
+	if err := l.Append(recs[1]); err == nil {
+		t.Fatal("append through a read-only fd succeeded")
+	}
+	// The log is poisoned: every further append is rejected up front.
+	if err := l.Append(recs[1]); err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("append on poisoned log = %v, want torn-log rejection", err)
+	}
+
+	l.mu.Lock()
+	l.f = orig
+	l.mu.Unlock()
+	ro.Close()
 }
