@@ -15,8 +15,13 @@
 //
 //	-addr a     listen address (default 127.0.0.1:8080; port 0 picks a free port)
 //	-workers n  concurrent query evaluations (default: number of CPUs)
-//	-queue n    additional requests allowed to wait for a worker (default 4×workers)
+//	-queue n    additional requests allowed to wait for a worker (default 4×workers, min 64)
 //	-cache n    warm specifications kept resident, LRU (default 64)
+//	-shards n   registry/cache lock domains keyed by program content hash (default 8)
+//	-shed p     admission policy: "shed" fast-fails overload with 429/503 +
+//	            Retry-After, "block" waits until the request deadline (default shed)
+//	-shard-queue n  in-flight requests admitted per shard under -shed shed
+//	            (default: workers+queue spread over shards, min 16)
 //	-timeout d  per-request deadline (default 30s; negative disables)
 //	-window n   period-certification window budget per program (0 = engine default)
 //	-parallel n engine worker goroutines per evaluation (0 = sequential schedule)
@@ -78,6 +83,9 @@ func run() error {
 	workers := flag.Int("workers", 0, "concurrent query evaluations (0 = number of CPUs)")
 	queue := flag.Int("queue", 0, "waiting requests beyond the running ones (0 = 4x workers)")
 	cache := flag.Int("cache", 64, "warm specifications kept resident (LRU)")
+	shards := flag.Int("shards", 0, "registry/cache lock domains (0 = default 8; 1 = single global lock)")
+	shed := flag.String("shed", "", `admission policy: "shed" (fast-fail overload, default) or "block"`)
+	shardQueue := flag.Int("shard-queue", 0, "in-flight requests admitted per shard under shedding (0 = auto)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (negative disables)")
 	window := flag.Int("window", 0, "period-certification window budget (0 = default)")
 	parallel := flag.Int("parallel", 0, "engine worker goroutines per evaluation (0 = sequential)")
@@ -97,6 +105,9 @@ func run() error {
 		Workers:        *workers,
 		Queue:          *queue,
 		CacheSize:      *cache,
+		Shards:         *shards,
+		Shed:           *shed,
+		ShardQueue:     *shardQueue,
 		RequestTimeout: *timeout,
 		MaxWindow:      *window,
 		Parallelism:    *parallel,

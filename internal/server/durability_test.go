@@ -72,7 +72,7 @@ func copyDir(t *testing.T, src string) string {
 // and snapshot cadence.
 func durableRegistry(t *testing.T, dir string, pol wal.Policy, snapshotEvery int) *Registry {
 	t.Helper()
-	reg := NewRegistry(8, 0, 0, newMetrics(routeNames))
+	reg := NewRegistry(4, 8, 0, 0, newMetrics(routeNames))
 	store, err := wal.Open(dir, wal.Options{Policy: pol})
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +194,7 @@ func TestKillAndRecoverDifferential(t *testing.T) {
 			// every record's on-disk extent.
 			logPath := filepath.Join(leaderDir, "programs", id, "wal.log")
 			boundaries := []int64{0}
-			for _, rec := range chainRecords(reg.progs[id]) {
+			for _, rec := range chainRecords(reg.source(id)) {
 				b, err := wal.EncodeRecord(rec)
 				if err != nil {
 					t.Fatal(err)

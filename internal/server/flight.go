@@ -1,0 +1,87 @@
+package server
+
+// Hand-rolled singleflight for query evaluation: identical concurrent
+// asks — same program, same content revision, same query text (and for
+// the answers endpoint, the same limit) — coalesce into one evaluation.
+// The first request becomes the flight leader and goes through the
+// ordinary admission path (shard gate, worker pool); every later
+// arrival joins the in-flight evaluation and just waits for the
+// leader's result, consuming no worker, no queue slot, and no shard
+// capacity. The revision is part of the key, so an ingest that moves
+// the program immediately stops coalescing against the stale model:
+// the next ask for the new revision starts a fresh flight.
+//
+// Results are shared by pointer: entries and answer slices are
+// immutable once published, and error values are never mutated, so a
+// joiner may read the flight's fields freely after done is closed (the
+// close is the happens-before edge).
+
+import (
+	"sync"
+
+	"tdd"
+)
+
+// flightKey identifies one coalescable evaluation.
+type flightKey struct {
+	id      string
+	rev     string
+	query   string
+	answers bool // false = ask (boolean), true = answers (enumeration)
+	limit   int  // answers only
+}
+
+// flight is one in-progress evaluation. The leader fills the result
+// fields, then closes done; joiners block on done.
+type flight struct {
+	done chan struct{}
+
+	// Written by the leader before close(done), read-only afterwards.
+	ent    *entry
+	result bool
+	ans    []tdd.Answer
+	engine string
+	err    error
+}
+
+// flightGroup tracks in-flight evaluations by key. The zero value is
+// ready to use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[flightKey]*flight
+}
+
+// join returns the flight for key, creating it when none is in
+// progress. leader reports whether the caller owns the evaluation and
+// must eventually call finish; a joiner only waits on f.done.
+func (g *flightGroup) join(key flightKey) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[flightKey]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's result: the key is retired first, so a
+// request arriving after the close starts a fresh flight rather than
+// reading an ever-staler cached answer, then done is closed to release
+// the joiners.
+func (g *flightGroup) finish(key flightKey, f *flight) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// size reports how many evaluations are in flight (test hook).
+func (g *flightGroup) size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -80,6 +80,9 @@ type askResponse struct {
 	Result    bool   `json:"result"`
 	Engine    string `json:"engine"` // "spec" (cache fast path) or "bt" (fallback)
 	ElapsedUs int64  `json:"elapsed_us"`
+	// Coalesced marks a response served by joining an identical in-flight
+	// evaluation rather than running its own.
+	Coalesced bool   `json:"coalesced,omitempty"`
 	TraceID   string `json:"trace_id,omitempty"`
 	// Trace is the merged phase tree (compile pipeline + this request),
 	// present when the request carried ?trace=1.
@@ -138,6 +141,7 @@ type answersResponse struct {
 	Rewrite   string     `json:"rewrite"`
 	Engine    string     `json:"engine"`
 	ElapsedUs int64      `json:"elapsed_us"`
+	Coalesced bool       `json:"coalesced,omitempty"`
 	TraceID   string     `json:"trace_id,omitempty"`
 	Trace     *traceJSON `json:"trace,omitempty"`
 }
@@ -162,17 +166,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // best effort; client may be gone
 }
 
-// writeError maps an error to a JSON error response. Timeout and
-// overload conditions become 503 so load balancers retry elsewhere;
-// unknown programs 404; everything else is a client error 400.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// fail maps an error to a JSON error response and books it against the
+// route's counters. Shed verdicts are the explicit-backpressure surface:
+// a saturated shard is 429 (this program family is hot — back off), a
+// full worker queue 503 (the whole server is hot — retry elsewhere),
+// both with Retry-After so well-behaved clients and load balancers pace
+// themselves. Timeouts become 503; unknown programs 404; everything
+// else is a client error 400.
+func (s *Server) fail(w http.ResponseWriter, route string, err error) {
+	rm := s.metrics.route(route)
 	status := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrShardSaturated):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+		s.metrics.Shed.Add(1)
+		rm.Sheds.Add(1)
+		err = fmt.Errorf("overloaded, retry later: %w", err)
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+		s.metrics.Shed.Add(1)
+		rm.Sheds.Add(1)
+		err = fmt.Errorf("overloaded, retry later: %w", err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
 		s.metrics.Timeouts.Add(1)
+		rm.Timeouts.Add(1)
 		err = fmt.Errorf("request timed out or was canceled: %w", err)
 	case errors.Is(err, ErrPoolClosed), errors.Is(err, wal.ErrClosed):
 		// A WAL closed mid-request means shutdown won the race: the batch
@@ -191,15 +213,46 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-// dispatch runs fn on the worker pool under the per-request deadline.
-func (s *Server) dispatch(r *http.Request, fn func()) error {
+// dispatchTo runs fn on the worker pool under the per-request deadline,
+// admitting it through id's shard gate first when shedding is enabled.
+// Under "shed" both admission steps fast-fail — a saturated shard or a
+// full queue rejects in microseconds instead of blocking the connection
+// until its deadline; under "block" the legacy wait-for-a-slot
+// semantics apply.
+func (s *Server) dispatchTo(r *http.Request, id string, fn func()) error {
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	return s.pool.Do(ctx, fn)
+	if s.cfg.Shed != "shed" {
+		return s.pool.Do(ctx, fn)
+	}
+	sh := s.reg.shardFor(id)
+	if !sh.tryAcquire() {
+		return ErrShardSaturated
+	}
+	defer sh.release()
+	return s.pool.TryDo(ctx, fn)
+}
+
+// awaitFlight blocks a coalesced request until its flight leader's
+// evaluation resolves, honoring the joiner's own deadline. Joiners hold
+// no worker, no queue slot, and no shard capacity — that is the point.
+func (s *Server) awaitFlight(r *http.Request, f *flight) error {
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	select {
+	case <-f.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // rejectReadOnly rejects a mutating request on a follower: the replica's
@@ -222,15 +275,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	var req registerRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+		s.fail(w, "register", err)
 		return
 	}
 	if req.Unit == "" && req.Rules == "" {
-		s.writeError(w, errors.New(`need "unit" or "rules" (+ optional "facts")`))
+		s.fail(w, "register", errors.New(`need "unit" or "rules" (+ optional "facts")`))
 		return
 	}
 	if req.Unit != "" && (req.Rules != "" || req.Facts != "") {
-		s.writeError(w, errors.New(`"unit" excludes "rules"/"facts"`))
+		s.fail(w, "register", errors.New(`"unit" excludes "rules"/"facts"`))
 		return
 	}
 	var (
@@ -238,14 +291,17 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		existing bool
 		err      error
 	)
-	if derr := s.dispatch(r, func() {
+	// The content hash is the registry handle AND the shard key, so the
+	// admission gate can be consulted before any compile work happens.
+	id := hashSource(req.Unit, req.Rules, req.Facts)
+	if derr := s.dispatchTo(r, id, func() {
 		ent, existing, err = s.reg.Register(req.Unit, req.Rules, req.Facts)
 	}); derr != nil {
-		s.writeError(w, derr)
+		s.fail(w, "register", derr)
 		return
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.fail(w, "register", err)
 		return
 	}
 	status := http.StatusCreated
@@ -284,11 +340,11 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	}
 	var req factsRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+		s.fail(w, "facts", err)
 		return
 	}
 	if req.Facts == "" {
-		s.writeError(w, errors.New(`need "facts"`))
+		s.fail(w, "facts", errors.New(`need "facts"`))
 		return
 	}
 	var (
@@ -298,14 +354,14 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	)
 	id := r.PathValue("id")
 	start := time.Now()
-	if derr := s.dispatch(r, func() {
+	if derr := s.dispatchTo(r, id, func() {
 		ent, res, err = s.reg.Ingest(id, req.Facts)
 	}); derr != nil {
-		s.writeError(w, derr)
+		s.fail(w, "facts", derr)
 		return
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.fail(w, "facts", err)
 		return
 	}
 	resp := factsResponse{
@@ -364,7 +420,7 @@ func (s *Server) maybeLogSlow(route, id, q string, elapsed time.Duration, tr *ob
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var req askRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+		s.fail(w, "ask", err)
 		return
 	}
 	var (
@@ -381,7 +437,16 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	traceOn := wantTrace || s.cfg.SlowQueryLog > 0
 	tid := obs.IDFrom(r.Context())
 	start := time.Now()
-	if derr := s.dispatch(r, func() {
+	// The revision read is one shard map lookup; it doubles as the 404
+	// fast path and pins the coalescing key — identical asks coalesce
+	// only within one content revision, so an ingest that moves the
+	// program immediately stops answers from riding the stale flight.
+	_, rev, known := s.reg.SeqRev(id)
+	if !known {
+		s.fail(w, "ask", ErrNotFound)
+		return
+	}
+	eval := func() {
 		ent, err = s.reg.Lookup(id)
 		if err != nil {
 			return
@@ -392,12 +457,46 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 			tr = obs.NewWithID(tid)
 		}
 		resp.Result, resp.Engine, err = ent.ask(req.Query, s.metrics, tr)
-	}); derr != nil {
-		s.writeError(w, derr)
-		return
+	}
+	switch {
+	case traceOn:
+		// A trace documents one evaluation, so a traced request owns one:
+		// it never joins, and nothing joins it (its result is never
+		// published to the flight group).
+		if derr := s.dispatchTo(r, id, eval); derr != nil {
+			s.fail(w, "ask", derr)
+			return
+		}
+	default:
+		key := flightKey{id: id, rev: rev, query: req.Query}
+		f, leader := s.reg.flights.join(key)
+		if leader {
+			s.metrics.FlightLeaders.Add(1)
+			derr := s.dispatchTo(r, id, eval)
+			if derr != nil {
+				// The closure may still be running on an abandoned worker
+				// slot; publish only the dispatch error, never its fields.
+				f.err = derr
+			} else {
+				f.ent, f.result, f.engine, f.err = ent, resp.Result, resp.Engine, err
+			}
+			s.reg.flights.finish(key, f)
+			if derr != nil {
+				s.fail(w, "ask", derr)
+				return
+			}
+		} else {
+			s.metrics.Coalesced.Add(1)
+			if jerr := s.awaitFlight(r, f); jerr != nil {
+				s.fail(w, "ask", jerr)
+				return
+			}
+			ent, resp.Result, resp.Engine, err = f.ent, f.result, f.engine, f.err
+			resp.Coalesced = true
+		}
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.fail(w, "ask", err)
 		return
 	}
 	elapsed := time.Since(start)
@@ -414,26 +513,32 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	var req answersRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+		s.fail(w, "answers", err)
 		return
 	}
 	if req.Limit < 0 {
-		s.writeError(w, errors.New("limit must be >= 0"))
+		s.fail(w, "answers", errors.New("limit must be >= 0"))
 		return
 	}
 	var (
-		ans    []tdd.Answer
-		engine string
-		ent    *entry
-		tr     *obs.Trace
-		err    error
+		ans       []tdd.Answer
+		engine    string
+		ent       *entry
+		tr        *obs.Trace
+		err       error
+		coalesced bool
 	)
 	id := r.PathValue("id")
 	wantTrace := traceWanted(r)
 	traceOn := wantTrace || s.cfg.SlowQueryLog > 0
 	tid := obs.IDFrom(r.Context())
 	start := time.Now()
-	if derr := s.dispatch(r, func() {
+	_, rev, known := s.reg.SeqRev(id)
+	if !known {
+		s.fail(w, "answers", ErrNotFound)
+		return
+	}
+	eval := func() {
 		ent, err = s.reg.Lookup(id)
 		if err != nil {
 			return
@@ -442,12 +547,43 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 			tr = obs.NewWithID(tid)
 		}
 		ans, engine, err = ent.answers(req.Query, req.Limit, s.metrics, tr)
-	}); derr != nil {
-		s.writeError(w, derr)
-		return
+	}
+	switch {
+	case traceOn:
+		if derr := s.dispatchTo(r, id, eval); derr != nil {
+			s.fail(w, "answers", derr)
+			return
+		}
+	default:
+		// The limit participates in the key: answers with different limits
+		// are different result sets and must not share a flight.
+		key := flightKey{id: id, rev: rev, query: req.Query, answers: true, limit: req.Limit}
+		f, leader := s.reg.flights.join(key)
+		if leader {
+			s.metrics.FlightLeaders.Add(1)
+			derr := s.dispatchTo(r, id, eval)
+			if derr != nil {
+				f.err = derr
+			} else {
+				f.ent, f.ans, f.engine, f.err = ent, ans, engine, err
+			}
+			s.reg.flights.finish(key, f)
+			if derr != nil {
+				s.fail(w, "answers", derr)
+				return
+			}
+		} else {
+			s.metrics.Coalesced.Add(1)
+			if jerr := s.awaitFlight(r, f); jerr != nil {
+				s.fail(w, "answers", jerr)
+				return
+			}
+			ent, ans, engine, err = f.ent, f.ans, f.engine, f.err
+			coalesced = true
+		}
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.fail(w, "answers", err)
 		return
 	}
 	elapsed := time.Since(start)
@@ -457,6 +593,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		Rewrite:   fmt.Sprintf("%d -> %d", ent.period.Base+ent.period.P, ent.period.Base),
 		Engine:    engine,
 		ElapsedUs: elapsed.Microseconds(),
+		Coalesced: coalesced,
 		TraceID:   tid,
 	}
 	if wantTrace {
@@ -476,14 +613,14 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	id := r.PathValue("id")
-	if derr := s.dispatch(r, func() {
+	if derr := s.dispatchTo(r, id, func() {
 		ent, err = s.reg.Lookup(id)
 	}); derr != nil {
-		s.writeError(w, derr)
+		s.fail(w, "period", derr)
 		return
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.fail(w, "period", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, periodJSON{Base: ent.period.Base, P: ent.period.P})
@@ -498,14 +635,14 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	id := r.PathValue("id")
-	if derr := s.dispatch(r, func() {
+	if derr := s.dispatchTo(r, id, func() {
 		ent, err = s.reg.Lookup(id)
 	}); derr != nil {
-		s.writeError(w, derr)
+		s.fail(w, "spec", derr)
 		return
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.fail(w, "spec", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -523,7 +660,7 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("from"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			s.writeError(w, fmt.Errorf("bad from cursor %q: %w", v, err))
+			s.fail(w, "wal", fmt.Errorf("bad from cursor %q: %w", v, err))
 			return
 		}
 		from = n
@@ -533,14 +670,14 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 		err  error
 	)
 	id := r.PathValue("id")
-	if derr := s.dispatch(r, func() {
+	if derr := s.dispatchTo(r, id, func() {
 		feed, err = s.reg.Feed(id, from)
 	}); derr != nil {
-		s.writeError(w, derr)
+		s.fail(w, "wal", derr)
 		return
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.fail(w, "wal", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, feed)
@@ -595,6 +732,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, p := range snap.Programs {
 		snap.LintWarnings += int64(p.LintWarnings)
 	}
+	snap.QueueDepth = int64(s.pool.Depth())
+	snap.QueueCapacity = int64(s.pool.Capacity())
+	snap.Shards = s.reg.ShardStats()
 	snap.Durability = s.durabilityStats()
 	snap.Follower = s.followerSnapshot()
 	writeJSON(w, http.StatusOK, snap)
@@ -604,5 +744,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // for scrape-based monitoring.
 func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.reg.WarmStats(), s.durabilityStats())
+	s.metrics.writePrometheus(w, s.reg.WarmStats(), s.durabilityStats(),
+		s.pool.Depth(), s.pool.Capacity(), s.reg.ShardStats())
 }

@@ -97,7 +97,9 @@ func TestIngestErrors(t *testing.T) {
 // the next lookup recompiles it from base + replayed batches and answers
 // identically.
 func TestIngestSurvivesEviction(t *testing.T) {
-	s, ts := newTestServer(t, Config{CacheSize: 1})
+	// Shards: 1 so the single-entry LRU is one global cache (see
+	// TestCacheEviction).
+	s, ts := newTestServer(t, Config{CacheSize: 1, Shards: 1})
 	id := register(t, ts.URL, skiUnit)
 	ingest(t, ts.URL, id, "resort(whistler).\nplane(1, whistler).\n")
 
@@ -211,7 +213,7 @@ func TestIngestMetrics(t *testing.T) {
 // not overwrite the cache with its stale base-only entry. publish is the
 // exact critical section both racing Registers funnel through.
 func TestRegisterRaceDoesNotClobberIngestedState(t *testing.T) {
-	reg := NewRegistry(8, 0, 0, newMetrics(routeNames))
+	reg := NewRegistry(4, 8, 0, 0, newMetrics(routeNames))
 	ent, _, err := reg.Register(evenUnit, "", "")
 	if err != nil {
 		t.Fatal(err)
@@ -257,7 +259,7 @@ func TestRegisterRaceDoesNotClobberIngestedState(t *testing.T) {
 // before anything is ingested or published — a diverged model is never
 // served, not even transiently.
 func TestApplyReplicatedRejectsDivergentRecordPrePublish(t *testing.T) {
-	reg := NewRegistry(8, 0, 0, newMetrics(routeNames))
+	reg := NewRegistry(4, 8, 0, 0, newMetrics(routeNames))
 	ent, _, err := reg.Register(evenUnit, "", "")
 	if err != nil {
 		t.Fatal(err)

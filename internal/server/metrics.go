@@ -81,6 +81,8 @@ func (h *histogram) cumulative() (buckets [len(bucketBoundsMicros) + 1]int64, co
 type routeMetrics struct {
 	Requests atomic.Int64
 	Errors   atomic.Int64
+	Sheds    atomic.Int64 // requests rejected by admission (shard gate or full queue)
+	Timeouts atomic.Int64 // requests that hit the per-request deadline
 	latency  histogram
 }
 
@@ -88,6 +90,8 @@ type routeMetrics struct {
 type RouteSnapshot struct {
 	Requests int64             `json:"requests"`
 	Errors   int64             `json:"errors"`
+	Sheds    int64             `json:"sheds"`
+	Timeouts int64             `json:"timeouts"`
 	Latency  HistogramSnapshot `json:"latency"`
 }
 
@@ -104,6 +108,11 @@ type Metrics struct {
 	CacheMisses atomic.Int64 // spec-cache lookups that had to (re)compile
 	CacheEvict  atomic.Int64 // entries displaced by the LRU policy
 	Fallbacks   atomic.Int64 // queries the spec path failed and BT answered
+
+	// Admission and coalescing counters (see shard.go, flight.go).
+	Shed          atomic.Int64 // requests rejected by admission instead of queued
+	Coalesced     atomic.Int64 // asks that joined an in-flight identical evaluation
+	FlightLeaders atomic.Int64 // coalescable evaluations actually run
 
 	Asserts       atomic.Int64 // successful fact-ingestion batches
 	FactsIngested atomic.Int64 // facts new to a database across all ingestions
@@ -164,6 +173,18 @@ type MetricsSnapshot struct {
 	Asserts     int64 `json:"asserts"`
 	Ingested    int64 `json:"facts_ingested"`
 	Parallelism int64 `json:"eval_parallelism"`
+	// Admission and coalescing: shed requests were rejected fast instead
+	// of queued; coalesced asks rode an identical in-flight evaluation
+	// (flight_leaders counts the evaluations that actually ran).
+	Shed          int64 `json:"shed_requests"`
+	Coalesced     int64 `json:"coalesced_requests"`
+	FlightLeaders int64 `json:"flight_leaders"`
+	// QueueDepth/QueueCapacity gauge the shared worker-pool queue;
+	// Shards carries each lock domain's tables and admission gate. All
+	// filled in by the metrics handler.
+	QueueDepth    int64           `json:"queue_depth"`
+	QueueCapacity int64           `json:"queue_capacity"`
+	Shards        []ShardSnapshot `json:"shards,omitempty"`
 	// LintWarnings gauges lint findings at warning severity or above,
 	// summed over the warm programs; filled in by the metrics handler
 	// alongside Programs.
@@ -212,28 +233,33 @@ type DurabilityStats struct {
 // trade-off.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
-		Requests:     m.Requests.Load(),
-		Errors:       m.Errors.Load(),
-		InFlight:     m.InFlight.Load(),
-		Timeouts:     m.Timeouts.Load(),
-		CacheHits:    m.CacheHits.Load(),
-		CacheMisses:  m.CacheMisses.Load(),
-		CacheEvict:   m.CacheEvict.Load(),
-		Fallbacks:    m.Fallbacks.Load(),
-		Asserts:      m.Asserts.Load(),
-		Ingested:     m.FactsIngested.Load(),
-		Parallelism:  m.EvalParallelism.Load(),
-		WalAppends:   m.WalAppends.Load(),
-		WalFsyncs:    m.WalFsyncs.Load(),
-		Snapshots:    m.Snapshots.Load(),
-		SnapErrors:   m.SnapshotErrors.Load(),
-		FsyncLatency: m.fsyncLatency.snapshot(),
-		Routes:       make(map[string]RouteSnapshot, len(m.routes)),
+		Requests:      m.Requests.Load(),
+		Errors:        m.Errors.Load(),
+		InFlight:      m.InFlight.Load(),
+		Timeouts:      m.Timeouts.Load(),
+		CacheHits:     m.CacheHits.Load(),
+		CacheMisses:   m.CacheMisses.Load(),
+		CacheEvict:    m.CacheEvict.Load(),
+		Fallbacks:     m.Fallbacks.Load(),
+		Asserts:       m.Asserts.Load(),
+		Ingested:      m.FactsIngested.Load(),
+		Parallelism:   m.EvalParallelism.Load(),
+		Shed:          m.Shed.Load(),
+		Coalesced:     m.Coalesced.Load(),
+		FlightLeaders: m.FlightLeaders.Load(),
+		WalAppends:    m.WalAppends.Load(),
+		WalFsyncs:     m.WalFsyncs.Load(),
+		Snapshots:     m.Snapshots.Load(),
+		SnapErrors:    m.SnapshotErrors.Load(),
+		FsyncLatency:  m.fsyncLatency.snapshot(),
+		Routes:        make(map[string]RouteSnapshot, len(m.routes)),
 	}
 	for name, r := range m.routes {
 		s.Routes[name] = RouteSnapshot{
 			Requests: r.Requests.Load(),
 			Errors:   r.Errors.Load(),
+			Sheds:    r.Sheds.Load(),
+			Timeouts: r.Timeouts.Load(),
 			Latency:  r.latency.snapshot(),
 		}
 	}

@@ -10,6 +10,13 @@ import (
 var (
 	// ErrPoolClosed is returned by Do once Close has been called.
 	ErrPoolClosed = errors.New("server: worker pool closed")
+	// ErrQueueFull is returned by TryDo when every worker is busy and the
+	// queue is at capacity — the fast-fail admission verdict.
+	ErrQueueFull = errors.New("server: request queue full")
+	// ErrShardSaturated is returned by the per-shard admission gate when
+	// the program's shard has no in-flight capacity left (see shard.go).
+	// It is declared here with its sibling admission errors.
+	ErrShardSaturated = errors.New("server: shard at capacity")
 )
 
 // task is one unit of submitted work. done is closed by the worker after
@@ -94,6 +101,36 @@ func (p *Pool) Do(ctx context.Context, fn func()) error {
 		return ErrPoolClosed
 	}
 }
+
+// TryDo is Do with fast-fail admission: if the task cannot be queued
+// RIGHT NOW — every worker busy, queue full — it returns ErrQueueFull
+// immediately instead of blocking until the deadline. Once admitted the
+// semantics match Do exactly. This is the load-shedding entry point:
+// under overload the caller turns the error into a prompt 429/503 with
+// Retry-After rather than holding the connection open to time out.
+func (p *Pool) TryDo(ctx context.Context, fn func()) error {
+	t := task{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case p.tasks <- t:
+	case <-p.closed:
+		return ErrPoolClosed
+	default:
+		return ErrQueueFull
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.closed:
+		return ErrPoolClosed
+	}
+}
+
+// Depth reports how many admitted tasks are waiting for a worker, and
+// Capacity the queue bound — the tddserve_queue_depth/_capacity gauges.
+func (p *Pool) Depth() int    { return len(p.tasks) }
+func (p *Pool) Capacity() int { return cap(p.tasks) }
 
 // Close stops the workers and waits for them to exit. In-flight tasks
 // finish; queued tasks are abandoned (their submitters get ErrPoolClosed).

@@ -60,6 +60,12 @@ var promScalars = []promMetric{
 		func(m *Metrics) int64 { return m.FollowerErrors.Load() }},
 	{"tddserve_follower_lag_records", "gauge", "Leader batches not yet applied, summed over programs.",
 		func(m *Metrics) int64 { return m.FollowerLag.Load() }},
+	{"tddserve_shed_total", "counter", "Requests rejected by admission control instead of queued.",
+		func(m *Metrics) int64 { return m.Shed.Load() }},
+	{"tddserve_coalesced_requests_total", "counter", "Asks that joined an identical in-flight evaluation.",
+		func(m *Metrics) int64 { return m.Coalesced.Load() }},
+	{"tddserve_flight_leaders_total", "counter", "Coalescable evaluations actually run (flight leaders).",
+		func(m *Metrics) int64 { return m.FlightLeaders.Load() }},
 }
 
 // promLe renders a bucket bound in seconds the way Prometheus clients do
@@ -69,12 +75,39 @@ func promLe(us int64) string {
 }
 
 // writePrometheus renders the whole exposition: the scalar families, the
-// per-route request/error counters and latency histograms, and per-warm-
-// program engine gauges. Route and program names are emitted sorted so
-// the output is deterministic (and testable line-for-line).
-func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats, durability map[string]DurabilityStats) {
+// worker-queue and per-shard admission gauges, the per-route
+// request/error/shed/timeout counters and latency histograms, and
+// per-warm-program engine gauges. Route and program names are emitted
+// sorted so the output is deterministic (and testable line-for-line).
+func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats, durability map[string]DurabilityStats,
+	queueDepth, queueCapacity int, shards []ShardSnapshot) {
 	for _, s := range promScalars {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.load(m))
+	}
+
+	fmt.Fprintf(w, "# HELP tddserve_queue_depth Admitted tasks waiting for a worker in the shared pool queue.\n# TYPE tddserve_queue_depth gauge\ntddserve_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP tddserve_queue_capacity Bound of the shared worker-pool queue.\n# TYPE tddserve_queue_capacity gauge\ntddserve_queue_capacity %d\n", queueCapacity)
+
+	shardGauges := []struct {
+		name, typ, help string
+		load            func(ShardSnapshot) int64
+	}{
+		{"tddserve_shard_inflight", "gauge", "Requests currently admitted through a shard's gate.",
+			func(s ShardSnapshot) int64 { return s.InFlight }},
+		{"tddserve_shard_capacity", "gauge", "In-flight bound of a shard's admission gate.",
+			func(s ShardSnapshot) int64 { return s.Capacity }},
+		{"tddserve_shard_sheds_total", "counter", "Requests rejected at a shard's admission gate.",
+			func(s ShardSnapshot) int64 { return s.Sheds }},
+		{"tddserve_shard_programs", "gauge", "Programs registered in a shard.",
+			func(s ShardSnapshot) int64 { return int64(s.Programs) }},
+		{"tddserve_shard_warm", "gauge", "Warm (cached) specifications in a shard.",
+			func(s ShardSnapshot) int64 { return int64(s.Warm) }},
+	}
+	for _, g := range shardGauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", g.name, g.help, g.name, g.typ)
+		for i, sn := range shards {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", g.name, i, g.load(sn))
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP tddserve_fsync_duration_seconds WAL fsync latency across all program logs.\n# TYPE tddserve_fsync_duration_seconds histogram\n")
@@ -101,6 +134,14 @@ func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats,
 	fmt.Fprintf(w, "# HELP tddserve_route_errors_total Error responses per route.\n# TYPE tddserve_route_errors_total counter\n")
 	for _, name := range routes {
 		fmt.Fprintf(w, "tddserve_route_errors_total{route=%q} %d\n", name, m.routes[name].Errors.Load())
+	}
+	fmt.Fprintf(w, "# HELP tddserve_route_sheds_total Requests rejected by admission control per route.\n# TYPE tddserve_route_sheds_total counter\n")
+	for _, name := range routes {
+		fmt.Fprintf(w, "tddserve_route_sheds_total{route=%q} %d\n", name, m.routes[name].Sheds.Load())
+	}
+	fmt.Fprintf(w, "# HELP tddserve_route_timeouts_total Requests that hit the per-request deadline per route.\n# TYPE tddserve_route_timeouts_total counter\n")
+	for _, name := range routes {
+		fmt.Fprintf(w, "tddserve_route_timeouts_total{route=%q} %d\n", name, m.routes[name].Timeouts.Load())
 	}
 
 	fmt.Fprintf(w, "# HELP tddserve_request_duration_seconds Request latency per route.\n# TYPE tddserve_request_duration_seconds histogram\n")

@@ -145,7 +145,10 @@ func resolvedFuture(e *entry) *future {
 // Registry stores registered program sources (unbounded — sources are
 // tiny) and a bounded LRU cache of their preprocessed specifications
 // (bounded — a warm entry pins the whole evaluated window). It is safe
-// for concurrent use.
+// for concurrent use. The tables are split by program-content-hash into
+// independent lock domains (see shard.go), so traffic on different
+// programs contends only within a shard, never globally; the flight
+// group coalesces identical concurrent asks into one evaluation.
 type Registry struct {
 	maxWindow   int
 	parallelism int
@@ -160,29 +163,38 @@ type Registry struct {
 	wal           *wal.Store
 	snapshotEvery int
 
-	mu    sync.Mutex
-	progs map[string]*programSource // guarded-by: mu
-	cache *lru[*future]             // guarded-by: mu
-	// writing holds one mutex per program id: Ingest serializes writers
-	// per program while readers keep querying the published entry.
-	writing map[string]*sync.Mutex // guarded-by: mu
+	shards  []*shard
+	flights flightGroup
 }
 
-// NewRegistry builds a registry whose spec cache holds at most cacheSize
-// warm programs; maxWindow (0 = default) bounds period certification;
-// parallelism (0 = sequential) sets the engine worker bound every
-// compiled program is opened with.
-func NewRegistry(cacheSize, maxWindow, parallelism int, m *Metrics) *Registry {
+// NewRegistry builds a registry split into shardCount lock domains
+// (forced to at least 1) whose spec caches hold at most cacheSize warm
+// programs in total; maxWindow (0 = default) bounds period
+// certification; parallelism (0 = sequential) sets the engine worker
+// bound every compiled program is opened with.
+func NewRegistry(shardCount, cacheSize, maxWindow, parallelism int, m *Metrics) *Registry {
+	if shardCount < 1 {
+		shardCount = 1
+	}
 	r := &Registry{
 		maxWindow:   maxWindow,
 		parallelism: parallelism,
 		metrics:     m,
-		progs:       make(map[string]*programSource),
-		writing:     make(map[string]*sync.Mutex),
+		shards:      make([]*shard, shardCount),
 	}
-	r.cache = newLRU[*future](cacheSize, func(string, *future) {
-		m.CacheEvict.Add(1)
-	})
+	// The cache budget is divided across shards (at least one slot each):
+	// eviction pressure is local to a shard, which is what keeps the
+	// recency-list update — the hot-path mutation under the lock — out of
+	// cross-program contention.
+	perShard := cacheSize / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range r.shards {
+		r.shards[i] = newShard(perShard, func(string, *future) {
+			m.CacheEvict.Add(1)
+		})
+	}
 	return r
 }
 
@@ -279,13 +291,14 @@ func (r *Registry) compile(src *programSource) (*entry, error) {
 // and uncertifiable periods at registration time, not on first query.
 func (r *Registry) Register(unit, rules, facts string) (e *entry, existing bool, err error) {
 	id := hashSource(unit, rules, facts)
-	r.mu.Lock()
-	if _, ok := r.progs[id]; ok {
-		r.mu.Unlock()
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.progs[id]; ok {
+		sh.mu.Unlock()
 		e, err = r.Lookup(id)
 		return e, true, err
 	}
-	r.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Compile outside the lock; registration of distinct programs
 	// proceeds in parallel. Two racing registrations of the same program
@@ -323,13 +336,14 @@ func (r *Registry) Register(unit, rules, facts string) (e *entry, existing bool,
 // batches, so the caller's base-only entry is potentially stale and must
 // be discarded, never cached.
 func (r *Registry) publish(src *programSource, ent *entry) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.progs[src.id]; ok {
+	sh := r.shardFor(src.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.progs[src.id]; ok {
 		return false
 	}
-	r.progs[src.id] = src
-	r.cache.put(src.id, resolvedFuture(ent))
+	sh.progs[src.id] = src
+	sh.cache.put(src.id, resolvedFuture(ent))
 	return true
 }
 
@@ -337,18 +351,19 @@ func (r *Registry) publish(src *programSource, ent *entry) bool {
 // cache miss (counted in the metrics). Concurrent misses on one id share
 // a single compilation.
 func (r *Registry) Lookup(id string) (*entry, error) {
-	r.mu.Lock()
-	src, ok := r.progs[id]
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	src, ok := sh.progs[id]
 	if !ok {
-		r.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, ErrNotFound
 	}
-	f, hit := r.cache.get(id)
+	f, hit := sh.cache.get(id)
 	if !hit {
 		f = &future{}
-		r.cache.put(id, f)
+		sh.cache.put(id, f)
 	}
-	r.mu.Unlock()
+	sh.mu.Unlock()
 
 	if hit {
 		r.metrics.CacheHits.Add(1)
@@ -358,11 +373,11 @@ func (r *Registry) Lookup(id string) (*entry, error) {
 	e, err := f.resolve(func() (*entry, error) { return r.compile(src) })
 	if err != nil {
 		// Do not cache failures; drop the slot so a later lookup retries.
-		r.mu.Lock()
-		if cur, ok := r.cache.get(id); ok && cur == f {
-			r.cache.remove(id)
+		sh.mu.Lock()
+		if cur, ok := sh.cache.get(id); ok && cur == f {
+			sh.cache.remove(id)
 		}
-		r.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
 	return e, nil
@@ -377,26 +392,28 @@ func (r *Registry) Lookup(id string) (*entry, error) {
 // (parse failure, signature conflict, uncertifiable period) nothing is
 // published and the program is unchanged.
 func (r *Registry) Ingest(id, facts string) (*entry, tdd.AssertResult, error) {
-	r.mu.Lock()
-	if _, ok := r.progs[id]; !ok {
-		r.mu.Unlock()
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.progs[id]; !ok {
+		sh.mu.Unlock()
 		return nil, tdd.AssertResult{}, ErrNotFound
 	}
-	wl, ok := r.writing[id]
-	if !ok {
-		wl = &sync.Mutex{}
-		r.writing[id] = wl
+	sh.mu.Unlock()
+
+	// The writer lock is refcounted: it exists only while a writer holds
+	// or awaits it, so the writing table stays bounded by in-flight
+	// ingests rather than growing with every program ever written.
+	wl := sh.lockWriter(id)
+	defer sh.unlockWriter(id, wl)
+
+	// Re-read the source under the shard lock: an ingest that held the
+	// writer lock before us may have advanced it.
+	sh.mu.Lock()
+	src := sh.progs[id]
+	sh.mu.Unlock()
+	if src == nil {
+		return nil, tdd.AssertResult{}, ErrNotFound
 	}
-	r.mu.Unlock()
-
-	wl.Lock()
-	defer wl.Unlock()
-
-	// Re-read the source under mu: an ingest that held the writer lock
-	// before us may have advanced it.
-	r.mu.Lock()
-	src := r.progs[id]
-	r.mu.Unlock()
 
 	ent, err := r.Lookup(id)
 	if err != nil {
@@ -473,10 +490,10 @@ func (r *Registry) Ingest(id, facts string) (*entry, tdd.AssertResult, error) {
 			}
 		}
 	}
-	r.mu.Lock()
-	r.progs[id] = nsrc
-	r.cache.put(id, resolvedFuture(ne))
-	r.mu.Unlock()
+	sh.mu.Lock()
+	sh.progs[id] = nsrc
+	sh.cache.put(id, resolvedFuture(ne))
+	sh.mu.Unlock()
 	r.metrics.Asserts.Add(1)
 	r.metrics.FactsIngested.Add(int64(res.NewFacts))
 	return ne, res, nil
@@ -532,9 +549,10 @@ func (r *Registry) RecoverFromWAL(warm bool) (programs, batches int, err error) 
 			rev:   rec.Rev,
 			extra: extra,
 		}
-		r.mu.Lock()
-		r.progs[src.id] = src
-		r.mu.Unlock()
+		sh := r.shardFor(src.id)
+		sh.mu.Lock()
+		sh.progs[src.id] = src
+		sh.mu.Unlock()
 		programs++
 		batches += len(rec.Records)
 	}
@@ -567,12 +585,22 @@ func (r *Registry) DurabilityStats() map[string]wal.LogStats {
 	return r.wal.Stats()
 }
 
+// source returns the registered program's source state, or nil (test
+// hook; callers must not mutate the result outside the shard's lock).
+func (r *Registry) source(id string) *programSource {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.progs[id]
+}
+
 // SeqRev reports a registered program's batch count and current content
 // revision (the follower's replication cursor).
 func (r *Registry) SeqRev(id string) (seq uint64, rev string, ok bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	src, ok := r.progs[id]
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	src, ok := sh.progs[id]
 	if !ok {
 		return 0, "", false
 	}
@@ -595,9 +623,10 @@ type WalFeed struct {
 // leader can serve followers. from is the number of batches the caller
 // already has.
 func (r *Registry) Feed(id string, from uint64) (WalFeed, error) {
-	r.mu.Lock()
-	src, ok := r.progs[id]
-	r.mu.Unlock()
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	src, ok := sh.progs[id]
+	sh.mu.Unlock()
 	if !ok {
 		return WalFeed{}, ErrNotFound
 	}
@@ -669,36 +698,40 @@ type PeriodInfo struct {
 // WarmStats reports engine work counters for every warm (resident and
 // resolved) program. In-flight compiles are skipped rather than awaited.
 func (r *Registry) WarmStats() map[string]ProgramStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make(map[string]ProgramStats)
-	r.cache.each(func(id string, f *future) {
-		e := f.peek()
-		if e == nil {
-			return
-		}
-		derived, firings, sweeps := e.db.EngineStats()
-		out[id] = ProgramStats{
-			Rev:             e.src.rev,
-			Period:          PeriodInfo{Base: e.period.Base, P: e.period.P},
-			Derived:         derived,
-			Firings:         firings,
-			Sweeps:          sweeps,
-			Representatives: e.reps,
-			Facts:           e.facts,
-			LintWarnings:    e.lint.Warnings(),
-		}
-	})
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		sh.cache.each(func(id string, f *future) {
+			e := f.peek()
+			if e == nil {
+				return
+			}
+			derived, firings, sweeps := e.db.EngineStats()
+			out[id] = ProgramStats{
+				Rev:             e.src.rev,
+				Period:          PeriodInfo{Base: e.period.Base, P: e.period.P},
+				Derived:         derived,
+				Firings:         firings,
+				Sweeps:          sweeps,
+				Representatives: e.reps,
+				Facts:           e.facts,
+				LintWarnings:    e.lint.Warnings(),
+			}
+		})
+		sh.mu.Unlock()
+	}
 	return out
 }
 
 // IDs returns the registered program ids, sorted.
 func (r *Registry) IDs() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.progs))
-	for id := range r.progs {
-		out = append(out, id)
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for id := range sh.progs {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -706,9 +739,13 @@ func (r *Registry) IDs() []string {
 
 // CachedLen reports how many programs are currently warm (test hook).
 func (r *Registry) CachedLen() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.cache.len()
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		n += sh.cache.len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ask answers a closed query for this entry: the cached specification

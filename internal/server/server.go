@@ -21,12 +21,33 @@ type Config struct {
 	// Workers bounds concurrent query evaluations (default: NumCPU).
 	Workers int
 	// Queue is how many requests may wait for a worker beyond the ones
-	// running (default: 4×Workers). Further requests block until their
-	// deadline and then get 503.
+	// running (default: 4×Workers, at least 64 — backpressure should bite
+	// under real overload, not at a burst a few cores can absorb). Under
+	// "shed" further requests fast-fail with 503; under "block" they wait
+	// until their deadline.
 	Queue int
 	// CacheSize bounds the number of warm specifications resident at
-	// once (default 64).
+	// once (default 64). The budget is split evenly across shards.
 	CacheSize int
+	// Shards splits the program registry, spec cache, and writer locks
+	// into this many independent lock domains keyed by program content
+	// hash (default 8). Sharding never changes answers — only which
+	// mutex a program's table entries live under; 1 restores the single
+	// global lock domain.
+	Shards int
+	// Shed picks the admission policy. "shed" (the default) fast-fails
+	// requests when the program's shard is at capacity (429 Retry-After)
+	// or the worker queue is full (503 Retry-After) instead of letting
+	// them block until the request deadline. "block" restores the old
+	// block-until-deadline admission.
+	Shed string
+	// ShardQueue bounds in-flight requests per shard under "shed". The
+	// default is Workers+Queue — the full admission capacity, so the
+	// gate never rejects a burst the server could absorb globally.
+	// Setting it lower partitions capacity between program families: one
+	// hot family then exhausts only its own shard's slots (429) while
+	// the other shards keep admitting.
+	ShardQueue int
 	// RequestTimeout is the per-request deadline covering queueing and
 	// evaluation (default 30s; <0 disables).
 	RequestTimeout time.Duration
@@ -83,9 +104,21 @@ func DefaultConfig(c Config) Config {
 	}
 	if c.Queue <= 0 {
 		c.Queue = 4 * c.Workers
+		if c.Queue < 64 {
+			c.Queue = 64
+		}
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 64
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Shed == "" {
+		c.Shed = "shed"
+	}
+	if c.ShardQueue <= 0 {
+		c.ShardQueue = c.Workers + c.Queue
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -141,15 +174,19 @@ type Server struct {
 // when a leader is configured, and starts the worker pool.
 func New(cfg Config) (*Server, error) {
 	cfg = DefaultConfig(cfg)
+	if cfg.Shed != "shed" && cfg.Shed != "block" {
+		return nil, fmt.Errorf("server: unknown admission policy %q (want \"shed\" or \"block\")", cfg.Shed)
+	}
 	m := newMetrics(routeNames)
 	m.EvalParallelism.Store(int64(cfg.Parallelism))
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
-		reg:     NewRegistry(cfg.CacheSize, cfg.MaxWindow, cfg.Parallelism, m),
+		reg:     NewRegistry(cfg.Shards, cfg.CacheSize, cfg.MaxWindow, cfg.Parallelism, m),
 		pool:    NewPool(cfg.Workers, cfg.Queue),
 		mux:     http.NewServeMux(),
 	}
+	s.reg.setShardCapacity(cfg.ShardQueue)
 	if cfg.DataDir != "" {
 		pol, err := wal.ParsePolicy(cfg.Fsync)
 		if err != nil {

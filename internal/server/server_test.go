@@ -334,7 +334,9 @@ func TestConcurrentQueries(t *testing.T) {
 // TestCacheEviction runs a capacity-1 cache over two programs: every
 // alternation evicts and recompiles, queries stay correct throughout.
 func TestCacheEviction(t *testing.T) {
-	s, ts := newTestServer(t, Config{CacheSize: 1})
+	// Shards: 1 so the single-entry LRU is one global cache; with the
+	// default shard count each shard gets its own slot and nothing evicts.
+	s, ts := newTestServer(t, Config{CacheSize: 1, Shards: 1})
 	evenID := register(t, ts.URL, evenUnit)
 	skiID := register(t, ts.URL, skiUnit)
 

@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench_serve.sh — the serving-core benchmark battery behind
+# BENCH_serve.json. Four closed-loop tddload scenarios against
+# self-hosted ephemeral servers:
+#
+#   hotkey_coalesce  one hot (program, query) pair from every client;
+#                    measures the singleflight (coalesce rate should be
+#                    high — joiners ride the leader's evaluation).
+#   mixed_shards8    mixed ask/answers/ingest/wal traffic over 8
+#                    programs with the registry split into 8 shards.
+#   mixed_shards1    the same workload against a single global lock
+#                    domain, for the sharding comparison.
+#   overload_shed    2x more clients than the deliberately tiny server
+#                    can hold (1 worker, 2-deep queues); measures that
+#                    overload turns into fast 429/503s, not timeouts.
+#
+# GOMAXPROCS is pinned to 4 so the scenarios measure concurrent
+# admission even on a single-core CI box: at GOMAXPROCS=1 the scheduler
+# serializes the handler goroutines and coalescing windows never
+# overlap. Throughput numbers from a 1-CPU machine say nothing about
+# shard scalability (the worker pool, not the registry lock, is the
+# bottleneck there) — see EXPERIMENTS.md for the honest reading.
+#
+# Usage: scripts/bench_serve.sh [out.json]
+#   DUR=5s scripts/bench_serve.sh     # longer runs
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_serve.json}
+DUR=${DUR:-2s}
+export GOMAXPROCS=${GOMAXPROCS:-4}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/tddload" ./cmd/tddload
+
+echo "==> hotkey_coalesce ($DUR)"
+"$tmp/tddload" -self -duration "$DUR" -clients 16 -programs 4 \
+    -mix ask=100 -hot 1 -scenario hotkey_coalesce -out "$OUT"
+
+echo "==> mixed_shards8 ($DUR)"
+"$tmp/tddload" -self -duration "$DUR" -clients 24 -programs 8 -shards 8 \
+    -mix ask=85,answers=5,ingest=5,wal=5 -scenario mixed_shards8 -out "$OUT" -append
+
+echo "==> mixed_shards1 ($DUR)"
+"$tmp/tddload" -self -duration "$DUR" -clients 24 -programs 8 -shards 1 \
+    -mix ask=85,answers=5,ingest=5,wal=5 -scenario mixed_shards1 -out "$OUT" -append
+
+echo "==> overload_shed ($DUR)"
+"$tmp/tddload" -self -duration "$DUR" -clients 32 -programs 4 \
+    -workers 1 -queue 2 -shard-queue 2 \
+    -mix ask=80,ingest=20 -scenario overload_shed -out "$OUT" -append
+
+echo "bench_serve: wrote $OUT"

@@ -59,6 +59,21 @@ echo "==> bench smoke (1 iteration)"
 go test -run '^$' -bench '^BenchmarkTraceOverhead$' -benchtime 1x .
 go test -run '^$' -bench '^BenchmarkParallelFixpoint$' -benchtime 1x ./internal/engine/
 
+echo "==> serving contention battery under GOMAXPROCS=4 -race"
+# The singleflight, shard gates, and writer-lock refcounting only see
+# real interleavings when the runtime can run handlers concurrently;
+# a 1-CPU box pins GOMAXPROCS=1 by default, which would serialize them.
+GOMAXPROCS=4 go test -race -run 'Shard|Coalesc|Shed|WriterLock|Flight' ./internal/server/
+
+echo "==> tddload smoke (2s self-hosted)"
+# A short closed-loop run against an ephemeral in-process server: the
+# generator exits nonzero on any transport error, so this catches
+# connection resets, panics, and malformed responses end to end.
+loadtmp=$(mktemp -d)
+GOMAXPROCS=4 go run ./cmd/tddload -self -duration 2s -clients 8 \
+    -mix ask=85,answers=5,ingest=5,wal=5 -scenario ci_smoke -out "$loadtmp/bench.json"
+rm -rf "$loadtmp"
+
 echo "==> parser fuzz smoke (5s)"
 go test ./internal/parser/ -run '^$' -fuzz '^FuzzParseUnit$' -fuzztime 5s
 
