@@ -286,6 +286,41 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	b.Run("traced", func(b *testing.B) { pipeline(b, true) })
 }
 
+// BenchmarkProfileOverhead: the same pipeline with the join profiler off
+// (the default one-nil-check path) vs enabled. The disabled variant must
+// stay within 1% of BenchmarkTraceOverhead/disabled and the profiled
+// variant within 5% of it — the E17 acceptance gates, enforced by
+// scripts/ci.sh comparing min-of-count times for the two variants here.
+func BenchmarkProfileOverhead(b *testing.B) {
+	rules, facts, stream := workload.Chain(16)
+	pipeline := func(b *testing.B, profiled bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			var opts []Option
+			if profiled {
+				opts = append(opts, WithProfile())
+			}
+			db, err := Open(rules, facts, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Period(); err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range stream {
+				if _, err := db.Assert(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := db.Ask("path(1000000, n0, n15)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { pipeline(b, false) })
+	b.Run("profiled", func(b *testing.B) { pipeline(b, true) })
+}
+
 // BenchmarkE9Pruning: end-to-end deep ground query with and without
 // dependency slicing on k independent prime-period subsystems.
 func BenchmarkE9Pruning(b *testing.B) {

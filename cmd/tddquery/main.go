@@ -26,6 +26,13 @@
 //	-trace     print the EXPLAIN-style phase tree (parse, classify,
 //	           certify-period with fixpoint sweeps, spec-construct,
 //	           per-query answer) after the queries run
+//	-profile   print the EXPLAIN ANALYZE join-cost tree after the
+//	           queries run: per rule and body-literal position, tuples
+//	           scanned, bindings matched, selectivity, and attributed
+//	           wall time, bucketed by timestamp stratum, plus the
+//	           per-predicate cardinality tables (not available with
+//	           -fromspec: a saved specification never re-enters the
+//	           engine, so there is no join work to profile)
 //
 // Example:
 //
@@ -59,6 +66,7 @@ func run() error {
 	saveSpec := flag.String("savespec", "", "write the relational specification (JSON) to this file")
 	fromSpec := flag.String("fromspec", "", "answer queries from a saved specification instead of a TDD file")
 	traceFlag := flag.Bool("trace", false, "print the phase tree of the whole pipeline")
+	profileFlag := flag.Bool("profile", false, "print the EXPLAIN ANALYZE join-cost tree")
 	flag.Parse()
 	args := flag.Args()
 
@@ -74,6 +82,9 @@ func run() error {
 	}
 
 	if *fromSpec != "" {
+		if *profileFlag {
+			return fmt.Errorf("-profile needs a TDD file; a saved specification (-fromspec) has no join work to profile")
+		}
 		data, err := os.ReadFile(*fromSpec)
 		if err != nil {
 			return err
@@ -110,6 +121,9 @@ func run() error {
 	}
 	if tr != nil {
 		opts = append(opts, tdd.WithTrace(tr))
+	}
+	if *profileFlag {
+		opts = append(opts, tdd.WithProfile())
 	}
 
 	var db *tdd.DB
@@ -200,6 +214,13 @@ func run() error {
 				continue
 			}
 			fmt.Print(tree)
+		}
+	}
+	if *profileFlag {
+		// Queries answered, so whatever certification they triggered is in
+		// the profile; render the cost tree after them, like the trace.
+		if p := db.ProfileReport(); p != nil {
+			fmt.Print(p.Tree())
 		}
 	}
 	printTrace()

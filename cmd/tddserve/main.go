@@ -27,6 +27,8 @@
 //	-parallel n engine worker goroutines per evaluation (0 = sequential schedule)
 //	-quiet      suppress per-request logs
 //	-slowquery d  log the full phase trace of requests slower than d (0 disables)
+//	-slow-keep n  slow queries retained with full traces for GET /debug/slow
+//	            (default 64; negative disables retention)
 //	-pprof      mount net/http/pprof under /debug/pprof/
 //	-data DIR   durable mode: WAL + snapshots under DIR, warm recovery on restart
 //	-fsync p    WAL fsync policy: always | interval | off (default interval)
@@ -47,11 +49,22 @@
 //	GET  /healthz                liveness
 //	GET  /metrics                counters, latency histograms, cache stats (JSON)
 //	GET  /metrics.prom           the same counters in Prometheus text exposition
+//	GET  /debug/flights          in-flight requests (age, shard, trace id) and
+//	                             coalescable evaluations with joiner counts
+//	GET  /debug/slow             ring buffer of the last -slow-keep slow queries
+//	                             with their full phase trees
+//	GET  /debug/shards           per-shard heatmap: programs, warm specs,
+//	                             admission in-flight/capacity, sheds
 //
 // Query endpoints accept ?trace=1 to return the request's phase tree
 // (parse, classify, certify-period with fixpoint sweeps, answer) and the
-// program's per-rule firing table inline in the response; every response
-// carries an X-Trace-Id header matching the request log line.
+// program's per-rule firing table inline in the response, and ?profile=1
+// to return the program's EXPLAIN ANALYZE join-cost profile (per rule and
+// body-literal position: tuples scanned, bindings matched, selectivity,
+// attributed time, bucketed by timestamp stratum, plus per-predicate
+// cardinalities). Every response carries an X-Trace-Id header matching
+// the request log line; an inbound X-Trace-Id is honored, so proxies and
+// followers can correlate across servers.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests drain, then the worker pool stops.
@@ -91,6 +104,7 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "engine worker goroutines per evaluation (0 = sequential)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	slowQuery := flag.Duration("slowquery", 0, "log full phase traces of requests slower than this (0 disables)")
+	slowKeep := flag.Int("slow-keep", 0, "slow queries retained for GET /debug/slow (0 = default 64; negative disables)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	dataDir := flag.String("data", "", "data directory for durable programs (WAL + snapshots); empty = in-memory only")
 	fsync := flag.String("fsync", "interval", `WAL fsync policy: "always", "interval", or "off"`)
@@ -112,6 +126,7 @@ func run() error {
 		MaxWindow:      *window,
 		Parallelism:    *parallel,
 		SlowQueryLog:   *slowQuery,
+		SlowQueryKeep:  *slowKeep,
 		EnablePprof:    *pprofFlag,
 		DataDir:        *dataDir,
 		Fsync:          *fsync,

@@ -91,6 +91,15 @@ func WithTrace(tr *obs.Trace) Option {
 	}
 }
 
+// WithProfile enables the operator-level join profiler
+// (engine.Profile): per (rule, body-literal) scan/match counters
+// bucketed by timestamp stratum and per-rule join wall time, rendered
+// by ProfileSnapshot as an EXPLAIN ANALYZE tree. Clones made by Assert
+// share the profile, so it accumulates over the database's lifetime.
+func WithProfile() Option {
+	return func(b *BT) { b.eval.EnableProfile() }
+}
+
 // New validates and compiles the TDD. The program must be
 // range-restricted, semi-normal, and forward.
 func New(prog *ast.Program, db *ast.Database, opts ...Option) (*BT, error) {
@@ -295,6 +304,14 @@ func (b *BT) EngineStats() engine.Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.eval.Stats()
+}
+
+// ProfileSnapshot renders the accumulated join profile as an EXPLAIN
+// ANALYZE report; nil unless the BT was built WithProfile.
+func (b *BT) ProfileSnapshot() *engine.ProfileJSON {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.eval.ProfileSnapshot()
 }
 
 // WorkSummary describes the polynomial-cost certificate of a processed

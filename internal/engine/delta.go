@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"tdd/internal/ast"
+	"tdd/internal/obs"
 )
 
 // occurrence locates one body literal: rule index and literal index.
@@ -67,6 +68,7 @@ func (e *Evaluator) Clone() *Evaluator {
 		stats:     e.stats.Clone(),
 		occ:       e.occ, // immutable once built
 		tr:        e.tr,
+		prof:      e.prof, // shared: the profile spans the database lifetime
 		par:       e.par,
 		maxHead:   e.maxHead,
 	}
@@ -124,6 +126,8 @@ func (e *Evaluator) PropagateDelta(seed []ast.Fact) int {
 		return e.propagateDeltaParallel(seed, m)
 	}
 	e.ensureOcc()
+	e.prof.lock()
+	defer e.prof.unlock()
 	sp := e.tr.Begin("delta-propagate")
 	rounds := 0
 	total := 0
@@ -198,10 +202,23 @@ func (e *Evaluator) inRange(r *crule, T, m int) bool {
 // against the full store. New head facts are appended to out.
 func (e *Evaluator) fireDelta(r *crule, pin int, f ast.Fact, T, m int, out *[]ast.Fact) {
 	en := env{time: T, vals: make(map[string]string, 8)}
-	if !e.matchArgs(r.body[pin].Args, f.Args, &en) {
+	if e.prof == nil {
+		if !e.matchArgs(r.body[pin].Args, f.Args, &en) {
+			return
+		}
+		e.deltaJoin(r, 0, pin, &en, m, out)
 		return
 	}
-	e.deltaJoin(r, 0, pin, &en, m, out)
+	start := obs.ClockNS()
+	pc := e.prof.buf.rec(r).litCell(pin, stratumOf(T))
+	pc.scanned++
+	if e.matchArgs(r.body[pin].Args, f.Args, &en) {
+		pc.matched++
+		e.deltaJoin(r, 0, pin, &en, m, out)
+	}
+	c := e.prof.buf.rec(r).ruleCell(stratumOf(T))
+	c.calls++
+	c.ns += obs.ClockNS() - start
 }
 
 // deltaJoin is join with literal pin already bound and head times capped
@@ -230,9 +247,19 @@ func (e *Evaluator) deltaJoin(r *crule, i, pin int, en *env, m int, out *[]ast.F
 	if rs == nil {
 		return
 	}
+	var lc *litCell
+	if e.prof != nil {
+		lc = e.prof.buf.rec(r).litCell(i, stratumOf(en.time))
+	}
 	visit := func(tup []string) bool {
+		if lc != nil {
+			lc.scanned++
+		}
 		mark := len(en.trail)
 		if e.matchArgs(a.Args, tup, en) {
+			if lc != nil {
+				lc.matched++
+			}
 			e.deltaJoin(r, i+1, pin, en, m, out)
 		}
 		en.undo(mark)

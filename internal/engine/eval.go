@@ -106,6 +106,10 @@ type Evaluator struct {
 	// tr, when non-nil, receives fixpoint/sweep/delta spans; nil tracing
 	// costs one pointer comparison per EnsureWindow/PropagateDelta call.
 	tr *obs.Trace
+	// prof, when non-nil, receives per-(rule, body-literal) scan/match
+	// counters and per-rule join wall time (profile.go); nil profiling
+	// costs one nil check per hook site.
+	prof *Profile
 	// par selects the evaluation schedule: 0 is the classic sequential
 	// sweep above; n >= 1 is the deterministic parallel schedule of
 	// parallel.go with at most n workers. See SetParallelism.
@@ -225,6 +229,8 @@ func (e *Evaluator) EnsureWindow(m int) {
 		e.ensureWindowParallel(m)
 		return
 	}
+	e.prof.lock()
+	defer e.prof.unlock()
 	sp := e.tr.Begin("fixpoint")
 	from := e.evaluated
 	f0, d0, s0 := e.stats.Firings, e.stats.Derived, e.stats.Sweeps
@@ -344,7 +350,15 @@ type env struct {
 func (e *Evaluator) fireRule(r *crule, T int) int {
 	en := env{time: T, vals: make(map[string]string, 8)}
 	added := 0
+	if e.prof == nil {
+		e.join(r, 0, &en, &added)
+		return added
+	}
+	start := obs.ClockNS()
 	e.join(r, 0, &en, &added)
+	c := e.prof.buf.rec(r).ruleCell(stratumOf(T))
+	c.calls++
+	c.ns += obs.ClockNS() - start
 	return added
 }
 
@@ -367,9 +381,19 @@ func (e *Evaluator) join(r *crule, i int, en *env, added *int) {
 	if rs == nil {
 		return
 	}
+	var lc *litCell
+	if e.prof != nil {
+		lc = e.prof.buf.rec(r).litCell(i, stratumOf(en.time))
+	}
 	visit := func(tup []string) bool {
+		if lc != nil {
+			lc.scanned++
+		}
 		mark := len(en.trail)
 		if e.matchArgs(a.Args, tup, en) {
+			if lc != nil {
+				lc.matched++
+			}
 			e.join(r, i+1, en, added)
 		}
 		en.undo(mark)

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"tdd/internal/ast"
+	"tdd/internal/obs"
 )
 
 // cand is one candidate head fact emitted by a worker: everything the
@@ -52,7 +53,8 @@ type cand struct {
 // write only their own slot, so no locking is needed.
 type taskResult struct {
 	cands   []cand
-	firings []int // per-rule successful instantiations; nil until first
+	firings []int    // per-rule successful instantiations; nil until first
+	prof    *profBuf // per-task profiler counters; nil until first touch
 }
 
 func (r *taskResult) firing(rules, idx int) {
@@ -60,6 +62,15 @@ func (r *taskResult) firing(rules, idx int) {
 		r.firings = make([]int, rules)
 	}
 	r.firings[idx]++
+}
+
+// profBuf returns the task's private profiler buffer, allocating it on
+// first touch (most tasks in a quiescent round never profile anything).
+func (r *taskResult) profBuf(rules int) *profBuf {
+	if r.prof == nil {
+		r.prof = newProfBuf(rules)
+	}
+	return r.prof
 }
 
 // runTasks evaluates n tasks on at most e.par workers. Tasks are claimed
@@ -115,6 +126,12 @@ func (e *Evaluator) mergeRound(results []taskResult, delta bool) []ast.Fact {
 				e.stats.Firings += n
 				e.stats.Rules[r].Firings += n
 			}
+		}
+		// Fold per-task profiler counters into the shared profile (the
+		// fixpoint entry holds its lock). Summation commutes, so the
+		// merged profile is identical for every worker count, like Stats.
+		if e.prof != nil && res.prof != nil {
+			e.prof.buf.merge(res.prof)
 		}
 		all = append(all, res.cands...)
 	}
@@ -260,9 +277,19 @@ func (w *parTask) join(r *crule, i, pin int, en *env, added *int) {
 	if base == nil && ov == nil {
 		return
 	}
+	var lc *litCell
+	if w.e.prof != nil {
+		lc = w.res.profBuf(len(w.e.rules)).rec(r).litCell(i, stratumOf(en.time))
+	}
 	visit := func(tup []string) bool {
+		if lc != nil {
+			lc.scanned++
+		}
 		mark := len(en.trail)
 		if w.e.matchArgs(a.Args, tup, en) {
+			if lc != nil {
+				lc.matched++
+			}
 			w.join(r, i+1, pin, en, added)
 		}
 		en.undo(mark)
@@ -290,7 +317,15 @@ func (w *parTask) join(r *crule, i, pin int, en *env, added *int) {
 func (w *parTask) fire(r *crule, T int) int {
 	en := env{time: T, vals: make(map[string]string, 8)}
 	added := 0
+	if w.e.prof == nil {
+		w.join(r, 0, -1, &en, &added)
+		return added
+	}
+	start := obs.ClockNS()
 	w.join(r, 0, -1, &en, &added)
+	c := w.res.profBuf(len(w.e.rules)).rec(r).ruleCell(stratumOf(T))
+	c.calls++
+	c.ns += obs.ClockNS() - start
 	return added
 }
 
@@ -434,6 +469,8 @@ func (e *Evaluator) ntFixpointParallel(m int) int {
 // same extension / non-temporal outer fixpoint structure, with each full
 // sweep replaced by rounds over the affected frontier.
 func (e *Evaluator) ensureWindowParallel(m int) {
+	e.prof.lock()
+	defer e.prof.unlock()
 	sp := e.tr.Begin("fixpoint")
 	from := e.evaluated
 	f0, d0, s0 := e.stats.Firings, e.stats.Derived, e.stats.Sweeps
@@ -518,11 +555,24 @@ func (w *parTask) fireDeltaFact(f ast.Fact) {
 
 func (w *parTask) fireDelta(r *crule, pin int, f ast.Fact, T int) {
 	en := env{time: T, vals: make(map[string]string, 8)}
-	if !w.e.matchArgs(r.body[pin].Args, f.Args, &en) {
+	added := 0
+	if w.e.prof == nil {
+		if !w.e.matchArgs(r.body[pin].Args, f.Args, &en) {
+			return
+		}
+		w.join(r, 0, pin, &en, &added)
 		return
 	}
-	added := 0
-	w.join(r, 0, pin, &en, &added)
+	start := obs.ClockNS()
+	pc := w.res.profBuf(len(w.e.rules)).rec(r).litCell(pin, stratumOf(T))
+	pc.scanned++
+	if w.e.matchArgs(r.body[pin].Args, f.Args, &en) {
+		pc.matched++
+		w.join(r, 0, pin, &en, &added)
+	}
+	c := w.res.profBuf(len(w.e.rules)).rec(r).ruleCell(stratumOf(T))
+	c.calls++
+	c.ns += obs.ClockNS() - start
 }
 
 // propagateDeltaParallel is PropagateDelta under the parallel schedule:
@@ -534,6 +584,8 @@ func (w *parTask) fireDelta(r *crule, pin int, f ast.Fact, T int) {
 // pinned.
 func (e *Evaluator) propagateDeltaParallel(seed []ast.Fact, m int) int {
 	e.ensureOcc()
+	e.prof.lock()
+	defer e.prof.unlock()
 	sp := e.tr.Begin("delta-propagate")
 	rounds, total := 0, 0
 	delta := seed

@@ -1,0 +1,444 @@
+package engine
+
+// tddprof: the operator-level join profiler. Where the trace layer
+// (internal/obs) stops at the fixpoint phase, the profiler attributes
+// evaluation cost *inside* rule bodies: per (rule, body-literal
+// position) it counts tuples scanned and bindings matched, bucketed by
+// timestamp stratum, and measures per-rule join wall time; alongside it
+// captures per-predicate per-state cardinality tables from the store.
+// Together these are the cost-model inputs join ordering needs
+// (ROADMAP item 1): selectivity = matched/scanned per literal,
+// cardinality per predicate per stratum.
+//
+// The design follows obs's nil-receiver discipline: a nil *Profile is
+// fully inert and every engine hook costs one nil check when profiling
+// is disabled. When enabled, the per-tuple cost is one counter
+// increment on a cell pointer resolved once per literal scan; the clock
+// is read once per rule invocation (fireRule / fireDelta), never per
+// tuple, and per-literal times are attributed from the rule's measured
+// time proportionally to scan volume. That attribution keeps the
+// enabled profiler inside its 5% budget (E17) while the per-literal
+// sums still reconcile with the measured fixpoint phase.
+//
+// Concurrency: counters are written only while the profile's mutex is
+// held. The sequential engine takes the lock once per fixpoint entry
+// (EnsureWindow / PropagateDelta), the parallel schedule gives every
+// task a private buffer and folds it in during the canonical merge —
+// sums commute, so profiles are bit-identical across worker counts
+// n >= 1, exactly like Stats. Snapshot takes the same lock, which makes
+// it safe against a clone (Assert path) still writing to the shared
+// profile from another goroutine.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// stratumOf buckets a timestamp into its power-of-two stratum: t=0 is
+// bucket 0, and bucket b >= 1 covers [2^(b-1), 2^b). Exact per-state
+// tables would be unbounded in the window; the certified model repeats
+// past base+period anyway, so log-spaced strata retain the shape
+// (startup vs. steady-state cost) at a fixed size.
+func stratumOf(t int) int {
+	if t <= 0 {
+		return 0
+	}
+	return bits.Len(uint(t))
+}
+
+// stratumBounds returns the inclusive timestamp range of bucket b.
+func stratumBounds(b int) (lo, hi int) {
+	if b <= 0 {
+		return 0, 0
+	}
+	return 1 << (b - 1), 1<<b - 1
+}
+
+// ruleCell accumulates one rule's invocations and join wall time within
+// one stratum.
+type ruleCell struct {
+	calls int64
+	ns    int64
+}
+
+// litCell accumulates one body literal's scan counters within one
+// stratum.
+type litCell struct {
+	scanned int64 // tuples visited from the relation set
+	matched int64 // visits that unified with the pattern
+}
+
+// ruleRec is one rule's counter block: per-stratum rule cells plus a
+// per-literal slice of per-stratum literal cells.
+type ruleRec struct {
+	strata []ruleCell
+	lits   [][]litCell
+}
+
+// profBuf is a single-writer counter block: the shared store inside a
+// Profile (written under its mutex) and the private per-task buffer of
+// the parallel schedule both use it.
+type profBuf struct {
+	rules []*ruleRec
+}
+
+func newProfBuf(n int) *profBuf { return &profBuf{rules: make([]*ruleRec, n)} }
+
+// rec returns (allocating on first touch) the rule's counter block.
+func (b *profBuf) rec(r *crule) *ruleRec {
+	rec := b.rules[r.idx]
+	if rec == nil {
+		rec = &ruleRec{lits: make([][]litCell, len(r.body))}
+		b.rules[r.idx] = rec
+	}
+	return rec
+}
+
+func (rec *ruleRec) ruleCell(bucket int) *ruleCell {
+	for len(rec.strata) <= bucket {
+		rec.strata = append(rec.strata, ruleCell{})
+	}
+	return &rec.strata[bucket]
+}
+
+func (rec *ruleRec) litCell(i, bucket int) *litCell {
+	s := rec.lits[i]
+	for len(s) <= bucket {
+		s = append(s, litCell{})
+	}
+	rec.lits[i] = s
+	return &s[bucket]
+}
+
+// merge folds o into b. Pure summation: the result is independent of
+// merge order, which is what keeps parallel profiles deterministic.
+func (b *profBuf) merge(o *profBuf) {
+	for ri, orec := range o.rules {
+		if orec == nil {
+			continue
+		}
+		rec := b.rules[ri]
+		if rec == nil {
+			rec = &ruleRec{lits: make([][]litCell, len(orec.lits))}
+			b.rules[ri] = rec
+		}
+		for bu := range orec.strata {
+			for len(rec.strata) <= bu {
+				rec.strata = append(rec.strata, ruleCell{})
+			}
+			rec.strata[bu].calls += orec.strata[bu].calls
+			rec.strata[bu].ns += orec.strata[bu].ns
+		}
+		for li := range orec.lits {
+			for bu := range orec.lits[li] {
+				s := rec.lits[li]
+				for len(s) <= bu {
+					s = append(s, litCell{})
+				}
+				s[bu].scanned += orec.lits[li][bu].scanned
+				s[bu].matched += orec.lits[li][bu].matched
+				rec.lits[li] = s
+			}
+		}
+	}
+}
+
+// Profile is the engine-side join profiler. A nil *Profile is inert;
+// see EnableProfile. Clones (the Assert copy-on-write path) share the
+// pointer, so a profile accumulates over a database's whole lifetime —
+// certification, window growth, and every delta propagation.
+type Profile struct {
+	mu  sync.Mutex
+	buf *profBuf
+}
+
+// lock/unlock bracket one fixpoint entry; nil-safe.
+func (p *Profile) lock() {
+	if p != nil {
+		p.mu.Lock()
+	}
+}
+
+func (p *Profile) unlock() {
+	if p != nil {
+		p.mu.Unlock()
+	}
+}
+
+// EnableProfile attaches a fresh join profiler to the evaluator. A
+// no-op when one is already attached.
+func (e *Evaluator) EnableProfile() {
+	if e.prof == nil {
+		e.prof = &Profile{buf: newProfBuf(len(e.rules))}
+	}
+}
+
+// Profile returns the attached profiler (nil when profiling is
+// disabled).
+func (e *Evaluator) Profile() *Profile { return e.prof }
+
+// --- snapshot (EXPLAIN ANALYZE) ---------------------------------------
+
+// LitStratumJSON is one literal's scan counters within one timestamp
+// stratum.
+type LitStratumJSON struct {
+	Lo      int   `json:"lo"`
+	Hi      int   `json:"hi"`
+	Scanned int64 `json:"scanned"`
+	Matched int64 `json:"matched"`
+}
+
+// LiteralProfileJSON is one body literal's row of the EXPLAIN ANALYZE
+// tree. Us is the rule's measured join time attributed to this literal
+// proportionally to its share of tuples scanned.
+type LiteralProfileJSON struct {
+	Pos         int              `json:"pos"`
+	Literal     string           `json:"literal"`
+	Scanned     int64            `json:"scanned"`
+	Matched     int64            `json:"matched"`
+	Selectivity float64          `json:"selectivity"`
+	Us          int64            `json:"us"`
+	Strata      []LitStratumJSON `json:"strata,omitempty"`
+}
+
+// RuleStratumJSON is one rule's invocation count and join time within
+// one timestamp stratum.
+type RuleStratumJSON struct {
+	Lo    int   `json:"lo"`
+	Hi    int   `json:"hi"`
+	Calls int64 `json:"calls"`
+	Us    int64 `json:"us"`
+}
+
+// RuleProfileJSON is one rule's node of the EXPLAIN ANALYZE tree.
+type RuleProfileJSON struct {
+	Rule     string               `json:"rule"`
+	Calls    int64                `json:"calls"`
+	Us       int64                `json:"us"`
+	Literals []LiteralProfileJSON `json:"literals"`
+	Strata   []RuleStratumJSON    `json:"strata,omitempty"`
+}
+
+// CardStratumJSON is one predicate's fact count within one timestamp
+// stratum.
+type CardStratumJSON struct {
+	Lo    int   `json:"lo"`
+	Hi    int   `json:"hi"`
+	Facts int64 `json:"facts"`
+}
+
+// PredCardJSON is one predicate's cardinality table: total facts,
+// distinct occupied states, and the per-stratum distribution (temporal
+// predicates only).
+type PredCardJSON struct {
+	Pred     string            `json:"pred"`
+	Temporal bool              `json:"temporal"`
+	Facts    int64             `json:"facts"`
+	States   int               `json:"states,omitempty"`
+	MaxT     int               `json:"max_t,omitempty"`
+	Strata   []CardStratumJSON `json:"strata,omitempty"`
+}
+
+// DominantJSON names the single most expensive (rule, literal) join of
+// the profile — the headline of the EXPLAIN ANALYZE output.
+type DominantJSON struct {
+	Rule    string `json:"rule"`
+	Pos     int    `json:"pos"`
+	Literal string `json:"literal"`
+	Us      int64  `json:"us"`
+	Scanned int64  `json:"scanned"`
+}
+
+// ProfileJSON is the wire/report form of a profile snapshot: the
+// EXPLAIN ANALYZE tree (rules descending by join time) plus the
+// per-predicate cardinality tables.
+type ProfileJSON struct {
+	Window        int               `json:"window"`
+	JoinUs        int64             `json:"join_us"`
+	Dominant      *DominantJSON     `json:"dominant,omitempty"`
+	Rules         []RuleProfileJSON `json:"rules"`
+	Cardinalities []PredCardJSON    `json:"cardinalities"`
+}
+
+// ProfileSnapshot renders the accumulated profile: counters under the
+// profile lock, cardinalities from the evaluator's current store. Nil
+// when profiling is disabled.
+func (e *Evaluator) ProfileSnapshot() *ProfileJSON {
+	if e.prof == nil {
+		return nil
+	}
+	out := &ProfileJSON{Window: e.evaluated}
+	e.prof.mu.Lock()
+	for ri, rec := range e.prof.buf.rules {
+		if rec == nil {
+			continue
+		}
+		r := &e.rules[ri]
+		rp := RuleProfileJSON{Rule: r.src.String()}
+		for bu, c := range rec.strata {
+			if c.calls == 0 && c.ns == 0 {
+				continue
+			}
+			lo, hi := stratumBounds(bu)
+			rp.Calls += c.calls
+			rp.Us += c.ns / 1e3
+			rp.Strata = append(rp.Strata, RuleStratumJSON{Lo: lo, Hi: hi, Calls: c.calls, Us: c.ns / 1e3})
+		}
+		var totalScanned int64
+		for li := range rec.lits {
+			lp := LiteralProfileJSON{Pos: li, Literal: r.body[li].String()}
+			for bu, c := range rec.lits[li] {
+				if c.scanned == 0 && c.matched == 0 {
+					continue
+				}
+				lo, hi := stratumBounds(bu)
+				lp.Scanned += c.scanned
+				lp.Matched += c.matched
+				lp.Strata = append(lp.Strata, LitStratumJSON{Lo: lo, Hi: hi, Scanned: c.scanned, Matched: c.matched})
+			}
+			if lp.Scanned > 0 {
+				lp.Selectivity = float64(lp.Matched) / float64(lp.Scanned)
+			}
+			totalScanned += lp.Scanned
+			rp.Literals = append(rp.Literals, lp)
+		}
+		// Attribute the rule's measured join time across its literals by
+		// scan volume; the remainder (empty scans) stays on literal 0 so
+		// the per-literal sum always reconciles with the rule total.
+		if len(rp.Literals) > 0 {
+			var attributed int64
+			for li := range rp.Literals {
+				if totalScanned > 0 {
+					rp.Literals[li].Us = rp.Us * rp.Literals[li].Scanned / totalScanned
+				}
+				attributed += rp.Literals[li].Us
+			}
+			rp.Literals[0].Us += rp.Us - attributed
+		}
+		out.JoinUs += rp.Us
+		out.Rules = append(out.Rules, rp)
+	}
+	e.prof.mu.Unlock()
+	sort.SliceStable(out.Rules, func(i, j int) bool { return out.Rules[i].Us > out.Rules[j].Us })
+	// The dominant *join* is the costliest non-leading literal; literal 0
+	// is the outer scan, not a join. Fall back to the costliest outer
+	// scan only when no rule has a second literal.
+	pick := func(minPos int) *DominantJSON {
+		var d *DominantJSON
+		for ri := range out.Rules {
+			rp := &out.Rules[ri]
+			for li := range rp.Literals {
+				lp := &rp.Literals[li]
+				if lp.Pos < minPos {
+					continue
+				}
+				if d == nil || lp.Us > d.Us {
+					d = &DominantJSON{Rule: rp.Rule, Pos: lp.Pos, Literal: lp.Literal, Us: lp.Us, Scanned: lp.Scanned}
+				}
+			}
+		}
+		return d
+	}
+	if out.Dominant = pick(1); out.Dominant == nil {
+		out.Dominant = pick(0)
+	}
+	out.Cardinalities = e.cardinalities()
+	return out
+}
+
+// cardinalities builds the per-predicate cardinality tables from the
+// store, sorted by predicate name for deterministic output.
+func (e *Evaluator) cardinalities() []PredCardJSON {
+	var out []PredCardJSON
+	for pred, states := range e.store.temporal {
+		pc := PredCardJSON{Pred: pred, Temporal: true}
+		var strata []CardStratumJSON
+		for t, rs := range states {
+			n := rs.size()
+			if n == 0 {
+				continue
+			}
+			pc.Facts += int64(n)
+			pc.States++
+			if t > pc.MaxT {
+				pc.MaxT = t
+			}
+			bu := stratumOf(t)
+			for len(strata) <= bu {
+				lo, hi := stratumBounds(len(strata))
+				strata = append(strata, CardStratumJSON{Lo: lo, Hi: hi})
+			}
+			strata[bu].Facts += int64(n)
+		}
+		for _, s := range strata {
+			if s.Facts > 0 {
+				pc.Strata = append(pc.Strata, s)
+			}
+		}
+		out = append(out, pc)
+	}
+	for pred, rs := range e.store.nonTemporal {
+		out = append(out, PredCardJSON{Pred: pred, Facts: int64(rs.size())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pred < out[j].Pred })
+	return out
+}
+
+// Tree renders the snapshot as an EXPLAIN ANALYZE text tree: rules
+// descending by join time, each with its per-literal scan/match/time
+// rows, followed by the cardinality tables.
+func (p *ProfileJSON) Tree() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile  window=%d join=%s rules=%d\n", p.Window, profUs(p.JoinUs), len(p.Rules))
+	if p.Dominant != nil {
+		fmt.Fprintf(&b, "dominant join: [%d] %s in %s  (%s, scanned=%d)\n",
+			p.Dominant.Pos, p.Dominant.Literal, p.Dominant.Rule, profUs(p.Dominant.Us), p.Dominant.Scanned)
+	}
+	for _, r := range p.Rules {
+		share := ""
+		if p.JoinUs > 0 {
+			share = fmt.Sprintf(" (%.1f%%)", 100*float64(r.Us)/float64(p.JoinUs))
+		}
+		fmt.Fprintf(&b, "  %s  calls=%d time=%s%s\n", r.Rule, r.Calls, profUs(r.Us), share)
+		for _, l := range r.Literals {
+			fmt.Fprintf(&b, "    [%d] %-24s scanned=%d matched=%d sel=%.1f%% time=%s\n",
+				l.Pos, l.Literal, l.Scanned, l.Matched, 100*l.Selectivity, profUs(l.Us))
+		}
+		if len(r.Strata) > 1 {
+			parts := make([]string, 0, len(r.Strata))
+			for _, s := range r.Strata {
+				parts = append(parts, fmt.Sprintf("t∈[%d,%d] calls=%d time=%s", s.Lo, s.Hi, s.Calls, profUs(s.Us)))
+			}
+			fmt.Fprintf(&b, "    strata: %s\n", strings.Join(parts, "; "))
+		}
+	}
+	if len(p.Cardinalities) > 0 {
+		b.WriteString("cardinalities:\n")
+		for _, c := range p.Cardinalities {
+			if c.Temporal {
+				fmt.Fprintf(&b, "  %-16s temporal facts=%d states=%d max_t=%d\n", c.Pred, c.Facts, c.States, c.MaxT)
+			} else {
+				fmt.Fprintf(&b, "  %-16s facts=%d\n", c.Pred, c.Facts)
+			}
+		}
+	}
+	return b.String()
+}
+
+// profUs formats a microsecond count, mirroring obs's span durations.
+func profUs(us int64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

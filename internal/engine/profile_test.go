@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tdd/internal/ast"
+	"tdd/internal/obs"
+	"tdd/internal/workload"
+)
+
+// profileEval builds an evaluator with the join profiler enabled.
+func profileEval(t *testing.T, src string) *Evaluator {
+	t.Helper()
+	e := buildEval(t, src)
+	e.EnableProfile()
+	return e
+}
+
+// pathGraph is a join-heavy reachability workload: path(K, Y, Z) joins
+// against a growing relation, so the profiler has real scan volume to
+// attribute.
+func pathGraph(n int) string {
+	src := `
+path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+null(0).
+`
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("node(n%d).\n", i)
+		if i+1 < n {
+			src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+		}
+		if i+5 < n {
+			src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+5)
+		}
+	}
+	return src
+}
+
+// TestProfileCounts checks the snapshot's internal consistency: matched
+// never exceeds scanned, selectivity is a ratio, stratum rows sum to the
+// literal totals, per-literal times reconcile with the rule total, and
+// the cardinality tables cover the store.
+func TestProfileCounts(t *testing.T) {
+	e := profileEval(t, pathGraph(20))
+	e.EnsureWindow(20)
+	p := e.ProfileSnapshot()
+	if p == nil {
+		t.Fatal("ProfileSnapshot returned nil with profiling enabled")
+	}
+	if p.Window != 20 {
+		t.Errorf("Window = %d, want 20", p.Window)
+	}
+	if len(p.Rules) == 0 {
+		t.Fatal("no rules profiled")
+	}
+	for _, r := range p.Rules {
+		var litUs int64
+		for _, l := range r.Literals {
+			if l.Matched > l.Scanned {
+				t.Errorf("%s[%d]: matched %d > scanned %d", r.Rule, l.Pos, l.Matched, l.Scanned)
+			}
+			if l.Selectivity < 0 || l.Selectivity > 1 {
+				t.Errorf("%s[%d]: selectivity %v out of range", r.Rule, l.Pos, l.Selectivity)
+			}
+			var ss, sm int64
+			for _, s := range l.Strata {
+				ss += s.Scanned
+				sm += s.Matched
+			}
+			if ss != l.Scanned || sm != l.Matched {
+				t.Errorf("%s[%d]: strata sum (%d,%d) != totals (%d,%d)", r.Rule, l.Pos, ss, sm, l.Scanned, l.Matched)
+			}
+			litUs += l.Us
+		}
+		if litUs != r.Us {
+			t.Errorf("%s: per-literal times sum to %d, rule total %d", r.Rule, litUs, r.Us)
+		}
+	}
+	if p.Dominant == nil {
+		t.Fatal("no dominant join identified")
+	}
+	if p.Dominant.Pos == 0 {
+		t.Errorf("dominant should be a join literal (pos > 0), got pos 0: %+v", p.Dominant)
+	}
+	var preds []string
+	for _, c := range p.Cardinalities {
+		preds = append(preds, c.Pred)
+		if c.Facts <= 0 {
+			t.Errorf("cardinality for %s is %d", c.Pred, c.Facts)
+		}
+	}
+	if !sort.StringsAreSorted(preds) {
+		t.Errorf("cardinalities not sorted: %v", preds)
+	}
+	want := map[string]bool{"path": true, "node": true, "edge": true, "null": true}
+	for _, p := range preds {
+		delete(want, p)
+	}
+	if len(want) != 0 {
+		t.Errorf("cardinality tables missing predicates: %v (got %v)", want, preds)
+	}
+}
+
+// TestProfileDisabled checks the nil-receiver discipline: no profile, no
+// snapshot, and evaluation untouched.
+func TestProfileDisabled(t *testing.T) {
+	e := buildEval(t, pathGraph(10))
+	e.EnsureWindow(10)
+	if e.Profile() != nil {
+		t.Error("profile should default to nil")
+	}
+	if p := e.ProfileSnapshot(); p != nil {
+		t.Errorf("ProfileSnapshot = %+v, want nil when disabled", p)
+	}
+}
+
+// stripTimes zeroes every wall-time field and timing-derived ordering so
+// profiles can be compared for counter determinism.
+func stripTimes(p *ProfileJSON) {
+	p.JoinUs = 0
+	p.Dominant = nil
+	for i := range p.Rules {
+		p.Rules[i].Us = 0
+		for j := range p.Rules[i].Strata {
+			p.Rules[i].Strata[j].Us = 0
+		}
+		for j := range p.Rules[i].Literals {
+			p.Rules[i].Literals[j].Us = 0
+		}
+	}
+	sort.Slice(p.Rules, func(i, j int) bool { return p.Rules[i].Rule < p.Rules[j].Rule })
+}
+
+// TestProfileParallelDeterminism checks the satellite requirement:
+// profiler counters merged across worker counts are bit-identical —
+// par=1 ≡ par=8, including after delta propagation.
+func TestProfileParallelDeterminism(t *testing.T) {
+	rules, facts := workload.Ski(workload.SkiParams{YearLen: 30, Resorts: 6, Planes: 10, Holidays: 4, Seed: 42})
+	src := rules + facts
+	snap := func(par int) *ProfileJSON {
+		e := profileEval(t, src)
+		e.SetParallelism(par)
+		e.EnsureWindow(90)
+		f := ast.Fact{Pred: "plane", Temporal: true, Time: 3, Args: []string{"r0"}}
+		if _, err := e.InsertBase(f); err != nil {
+			t.Fatal(err)
+		}
+		e.PropagateDelta([]ast.Fact{f})
+		p := e.ProfileSnapshot()
+		stripTimes(p)
+		return p
+	}
+	p1, p8 := snap(1), snap(8)
+	if !reflect.DeepEqual(p1, p8) {
+		t.Errorf("profiles differ across worker counts:\npar=1: %+v\npar=8: %+v", p1, p8)
+	}
+}
+
+// TestProfileCloneShared checks a clone keeps writing the same profile:
+// the Assert copy-on-write path must accumulate into the database's
+// lifetime profile, not fork it.
+func TestProfileCloneShared(t *testing.T) {
+	e := profileEval(t, "even(T+2) :- even(T).\neven(0).\n")
+	e.EnsureWindow(10)
+	before := e.ProfileSnapshot().Rules[0].Literals[0].Scanned
+	c := e.Clone()
+	f := ast.Fact{Pred: "even", Temporal: true, Time: 1}
+	if _, err := c.InsertBase(f); err != nil {
+		t.Fatal(err)
+	}
+	if c.PropagateDelta([]ast.Fact{f}) == 0 {
+		t.Fatal("delta propagation derived nothing")
+	}
+	after := e.ProfileSnapshot().Rules[0].Literals[0].Scanned
+	if after <= before {
+		t.Errorf("clone's delta work not visible in shared profile: scanned %d -> %d", before, after)
+	}
+}
+
+// TestProfileSumsToFixpoint checks the acceptance criterion: the
+// EXPLAIN ANALYZE per-literal times sum to within 10% of the measured
+// fixpoint phase. Per-literal times partition the per-rule measured
+// join time exactly, so this is really a bound on the fixpoint work
+// spent outside fireRule (state loops, stats, span bookkeeping).
+func TestProfileSumsToFixpoint(t *testing.T) {
+	rules, facts := workload.Ski(workload.SkiParams{YearLen: 50, Resorts: 24, Planes: 48, Holidays: 5, Seed: 42})
+	e := profileEval(t, rules+facts)
+	tr := obs.New()
+	e.SetTrace(tr)
+	e.EnsureWindow(200)
+	var fixpointUs int64
+	for _, ph := range tr.Snapshot().Phases {
+		if ph.Name == "fixpoint" {
+			fixpointUs += ph.Us
+		}
+	}
+	if fixpointUs == 0 {
+		t.Fatal("no fixpoint phase recorded")
+	}
+	p := e.ProfileSnapshot()
+	var litUs int64
+	for _, r := range p.Rules {
+		for _, l := range r.Literals {
+			litUs += l.Us
+		}
+	}
+	ratio := float64(litUs) / float64(fixpointUs)
+	t.Logf("per-literal sum %dµs vs fixpoint %dµs (ratio %.3f)", litUs, fixpointUs, ratio)
+	if ratio < 0.90 || ratio > 1.02 {
+		t.Errorf("per-literal sum %dµs not within 10%% of fixpoint %dµs (ratio %.3f)", litUs, fixpointUs, ratio)
+	}
+}

@@ -34,6 +34,19 @@ import (
 // beyond the cap are counted, not recorded.
 const maxSpans = 1 << 12
 
+// clockBase anchors ClockNS: readings are offsets from process start,
+// so they carry Go's monotonic clock and survive wall-clock steps.
+var clockBase = time.Now()
+
+// ClockNS returns monotonic nanoseconds since process start. It exists
+// so packages under the detfix determinism ban (internal/engine,
+// internal/core) can measure durations for observability without
+// importing "time": the reading feeds profiler/trace output only, never
+// a model-visible value.
+func ClockNS() int64 {
+	return int64(time.Since(clockBase))
+}
+
 // NewID returns a fresh 16-hex-digit trace ID.
 func NewID() string {
 	var b [8]byte

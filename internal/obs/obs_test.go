@@ -103,6 +103,48 @@ func TestSpanCap(t *testing.T) {
 	}
 }
 
+// TestSpanCapConcurrent checks drop accounting when many goroutines race
+// past the span cap: every Begin either records a span or increments the
+// dropped counter, so recorded+dropped must equal the Begins issued
+// exactly. Run under -race.
+func TestSpanCapConcurrent(t *testing.T) {
+	tr := New()
+	const goroutines = 8
+	const perG = (maxSpans / goroutines) + 300 // collectively overshoot the cap
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := tr.Begin("s")
+				sp.Add("i", int64(i)) // nil past the cap; must stay a no-op
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	total := goroutines * perG
+	if snap.Dropped != total-maxSpans {
+		t.Errorf("dropped = %d, want %d (= %d begins - %d cap)",
+			snap.Dropped, total-maxSpans, total, maxSpans)
+	}
+	// Concurrent Begins interleave parent/child arbitrarily, so count the
+	// whole tree, not just top-level phases.
+	var count func(spans []SpanJSON) int
+	count = func(spans []SpanJSON) int {
+		n := len(spans)
+		for _, s := range spans {
+			n += count(s.Children)
+		}
+		return n
+	}
+	if got := count(snap.Phases); got != maxSpans {
+		t.Errorf("recorded spans = %d, want %d", got, maxSpans)
+	}
+}
+
 func TestTreeRendering(t *testing.T) {
 	tr := NewWithID("deadbeefdeadbeef")
 	sp := tr.Begin("certify-period")

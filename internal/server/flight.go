@@ -17,7 +17,10 @@ package server
 // close is the happens-before edge).
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tdd"
 )
@@ -35,6 +38,13 @@ type flightKey struct {
 // fields, then closes done; joiners block on done.
 type flight struct {
 	done chan struct{}
+
+	// Introspection state for /debug/flights: the key and start time are
+	// fixed at creation; joiners counts requests that coalesced onto this
+	// evaluation (atomic — joins race the debug snapshot).
+	key     flightKey
+	started time.Time
+	joiners atomic.Int64
 
 	// Written by the leader before close(done), read-only afterwards.
 	ent    *entry
@@ -61,9 +71,10 @@ func (g *flightGroup) join(key flightKey) (f *flight, leader bool) {
 		g.m = make(map[flightKey]*flight)
 	}
 	if f, ok := g.m[key]; ok {
+		f.joiners.Add(1)
 		return f, false
 	}
-	f = &flight{done: make(chan struct{})}
+	f = &flight{done: make(chan struct{}), key: key, started: time.Now()}
 	g.m[key] = f
 	return f, true
 }
@@ -84,4 +95,43 @@ func (g *flightGroup) size() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.m)
+}
+
+// FlightSnapshot is one in-flight coalescable evaluation as reported by
+// GET /debug/flights.
+type FlightSnapshot struct {
+	Program string `json:"program"`
+	Rev     string `json:"rev"`
+	Query   string `json:"query"`
+	Kind    string `json:"kind"` // "ask" or "answers"
+	Limit   int    `json:"limit,omitempty"`
+	Joiners int64  `json:"joiners"`
+	AgeUs   int64  `json:"age_us"`
+	// Shard is the program's lock domain, filled in by the debug handler.
+	Shard int `json:"shard"`
+}
+
+// snapshot reports every in-flight evaluation, oldest first.
+func (g *flightGroup) snapshot() []FlightSnapshot {
+	g.mu.Lock()
+	out := make([]FlightSnapshot, 0, len(g.m))
+	now := time.Now()
+	for _, f := range g.m {
+		kind := "ask"
+		if f.key.answers {
+			kind = "answers"
+		}
+		out = append(out, FlightSnapshot{
+			Program: f.key.id,
+			Rev:     f.key.rev,
+			Query:   f.key.query,
+			Kind:    kind,
+			Limit:   f.key.limit,
+			Joiners: f.joiners.Load(),
+			AgeUs:   now.Sub(f.started).Microseconds(),
+		})
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].AgeUs > out[j].AgeUs })
+	return out
 }

@@ -22,6 +22,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tdd/internal/obs"
 )
 
 type follower struct {
@@ -73,21 +75,25 @@ func (f *follower) run() {
 }
 
 // poll runs one replication cycle: list the leader's programs, tail each
-// one's feed past the local cursor, and refresh the lag gauge.
+// one's feed past the local cursor, and refresh the lag gauge. The whole
+// cycle shares one trace ID, sent as X-Trace-Id on every leader fetch
+// and attached to the follower's own log lines, so a replication problem
+// can be joined across both servers' logs.
 func (f *follower) poll() {
 	m := f.srv.metrics
+	tid := obs.NewID()
 	var list listResponse
-	if err := f.getJSON(f.leader+"/programs", &list); err != nil {
+	if err := f.getJSON(tid, f.leader+"/programs", &list); err != nil {
 		m.FollowerErrors.Add(1)
-		f.srv.cfg.Logger.Warn("follower: listing leader programs", "leader", f.leader, "err", err)
+		f.srv.cfg.Logger.Warn("follower: listing leader programs", "leader", f.leader, "trace", tid, "err", err)
 		return
 	}
 	var lag int64
 	for _, id := range list.Programs {
-		behind, err := f.replicate(id)
+		behind, err := f.replicate(tid, id)
 		if err != nil {
 			m.FollowerErrors.Add(1)
-			f.srv.cfg.Logger.Warn("follower: replicating program", "program", id, "err", err)
+			f.srv.cfg.Logger.Warn("follower: replicating program", "program", id, "trace", tid, "err", err)
 		}
 		lag += behind
 	}
@@ -98,13 +104,13 @@ func (f *follower) poll() {
 // replicate catches one program up to the leader and returns how many
 // leader batches remain unapplied (normally 0; nonzero only when an
 // apply failed part-way).
-func (f *follower) replicate(id string) (behind int64, err error) {
+func (f *follower) replicate(tid, id string) (behind int64, err error) {
 	from, rev, known := f.srv.reg.SeqRev(id)
 	if !known {
 		from = 0
 	}
 	var feed WalFeed
-	if err := f.getJSON(fmt.Sprintf("%s/programs/%s/wal?from=%d", f.leader, id, from), &feed); err != nil {
+	if err := f.getJSON(tid, fmt.Sprintf("%s/programs/%s/wal?from=%d", f.leader, id, from), &feed); err != nil {
 		return 0, err
 	}
 	if known {
@@ -140,8 +146,15 @@ func (f *follower) replicate(id string) (behind int64, err error) {
 	return 0, nil
 }
 
-func (f *follower) getJSON(url string, v any) error {
-	resp, err := f.client.Get(url)
+// getJSON fetches url carrying tid as X-Trace-Id, so the leader's
+// request log and the follower's poll logs share one correlation ID.
+func (f *follower) getJSON(tid, url string, v any) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Trace-Id", tid)
+	resp, err := f.client.Do(req)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"tdd/internal/obs"
 )
 
 // waitConverged polls until the follower's cursor for id reaches the
@@ -170,7 +172,7 @@ func TestFollowerDetectsLeaderLostHistory(t *testing.T) {
 	fol, _ := newTestServer(t, Config{})
 	client := &http.Client{Timeout: 5 * time.Second}
 	fA := &follower{srv: fol, leader: ltsA.URL, client: client}
-	if behind, err := fA.replicate(id); err != nil || behind != 0 {
+	if behind, err := fA.replicate(obs.NewID(), id); err != nil || behind != 0 {
 		t.Fatalf("initial replication: behind=%d err=%v", behind, err)
 	}
 	seq, rev, _ := fol.Registry().SeqRev(id)
@@ -188,7 +190,7 @@ func TestFollowerDetectsLeaderLostHistory(t *testing.T) {
 		t.Fatal(err)
 	}
 	fB := &follower{srv: fol, leader: ltsB.URL, client: client}
-	if behind, err := fB.replicate(id); err == nil || !strings.Contains(err.Error(), "lost history") {
+	if behind, err := fB.replicate(obs.NewID(), id); err == nil || !strings.Contains(err.Error(), "lost history") {
 		t.Fatalf("short leader: behind=%d err=%v, want lost-history error", behind, err)
 	}
 
@@ -203,7 +205,7 @@ func TestFollowerDetectsLeaderLostHistory(t *testing.T) {
 		}
 	}
 	fC := &follower{srv: fol, leader: ltsC.URL, client: client}
-	if behind, err := fC.replicate(id); err == nil || !strings.Contains(err.Error(), "diverged") {
+	if behind, err := fC.replicate(obs.NewID(), id); err == nil || !strings.Contains(err.Error(), "diverged") {
 		t.Fatalf("rewritten leader: behind=%d err=%v, want diverged error", behind, err)
 	}
 

@@ -87,6 +87,14 @@ type askResponse struct {
 	// Trace is the merged phase tree (compile pipeline + this request),
 	// present when the request carried ?trace=1.
 	Trace *traceJSON `json:"trace,omitempty"`
+	// Profile is the program's EXPLAIN ANALYZE join-cost profile —
+	// per-rule, per-body-literal scan/match counters with attributed wall
+	// time, bucketed by timestamp stratum — present when the request
+	// carried ?profile=1. It covers the program's lifetime evaluation
+	// (compile-time certification plus every ingest), not just this
+	// request: a warm ask answers from the spec cache and does no join
+	// work of its own.
+	Profile *tdd.ProfileReport `json:"profile,omitempty"`
 }
 
 // traceJSON is the ?trace=1 response block: the merged phase tree plus
@@ -144,6 +152,8 @@ type answersResponse struct {
 	Coalesced bool       `json:"coalesced,omitempty"`
 	TraceID   string     `json:"trace_id,omitempty"`
 	Trace     *traceJSON `json:"trace,omitempty"`
+	// Profile mirrors askResponse.Profile (?profile=1).
+	Profile *tdd.ProfileReport `json:"profile,omitempty"`
 }
 
 type listResponse struct {
@@ -399,12 +409,29 @@ func lintWanted(r *http.Request) bool {
 	return v == "1" || v == "true"
 }
 
+// profileWanted reports whether the request opted into the inline
+// EXPLAIN ANALYZE join-cost profile via ?profile=1.
+func profileWanted(r *http.Request) bool {
+	v := r.URL.Query().Get("profile")
+	return v == "1" || v == "true"
+}
+
 // maybeLogSlow dumps the full phase tree of a request that crossed the
-// configured slow-query threshold.
+// configured slow-query threshold, and retains it in the /debug/slow
+// ring so the tree is inspectable after the log line has scrolled away.
 func (s *Server) maybeLogSlow(route, id, q string, elapsed time.Duration, tr *obs.Trace) {
 	if s.cfg.SlowQueryLog <= 0 || elapsed < s.cfg.SlowQueryLog {
 		return
 	}
+	s.slow.add(SlowQuery{
+		Route:     route,
+		Program:   id,
+		Query:     q,
+		TraceID:   tr.ID(),
+		ElapsedUs: elapsed.Microseconds(),
+		At:        time.Now(),
+		Trace:     tr.Snapshot(),
+	})
 	s.cfg.Logger.Warn("slow query",
 		"route", route,
 		"program", id,
@@ -434,6 +461,10 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	// when r is no longer safe to touch.
 	id := r.PathValue("id")
 	wantTrace := traceWanted(r)
+	// The profile is program-lifetime state read at response-assembly
+	// time, so unlike a trace it does not force the request out of the
+	// coalescing path.
+	wantProfile := profileWanted(r)
 	traceOn := wantTrace || s.cfg.SlowQueryLog > 0
 	tid := obs.IDFrom(r.Context())
 	start := time.Now()
@@ -505,6 +536,9 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	if wantTrace {
 		resp.Trace = mergedTrace(ent.CompileTrace(), tr.Snapshot(), ent.db.EngineDetail().Rules)
 	}
+	if wantProfile {
+		resp.Profile = ent.db.ProfileReport()
+	}
 	s.maybeLogSlow("ask", id, req.Query, elapsed, tr)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -530,6 +564,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	)
 	id := r.PathValue("id")
 	wantTrace := traceWanted(r)
+	wantProfile := profileWanted(r)
 	traceOn := wantTrace || s.cfg.SlowQueryLog > 0
 	tid := obs.IDFrom(r.Context())
 	start := time.Now()
@@ -598,6 +633,9 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	}
 	if wantTrace {
 		resp.Trace = mergedTrace(ent.CompileTrace(), tr.Snapshot(), ent.db.EngineDetail().Rules)
+	}
+	if wantProfile {
+		resp.Profile = ent.db.ProfileReport()
 	}
 	for _, a := range ans {
 		resp.Answers = append(resp.Answers, answerJSON{Temporal: a.Temporal, NonTemporal: a.NonTemporal})

@@ -1,6 +1,9 @@
 package server
 
 import (
+	"runtime"
+	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -136,6 +139,10 @@ type Metrics struct {
 	// (Config.Parallelism; 0 = sequential schedule). Set once at startup.
 	EvalParallelism atomic.Int64
 
+	// start anchors the uptime gauge: set once when the server's metrics
+	// are created, read by every snapshot.
+	start time.Time
+
 	routes map[string]*routeMetrics
 	// orphan absorbs updates for route names missing from routes, so a
 	// route registered without a metrics slot degrades to uncounted
@@ -146,11 +153,75 @@ type Metrics struct {
 // newMetrics pre-creates the per-route slots so handler-path updates are
 // lock-free map reads.
 func newMetrics(routes []string) *Metrics {
-	m := &Metrics{routes: make(map[string]*routeMetrics, len(routes))}
+	m := &Metrics{start: time.Now(), routes: make(map[string]*routeMetrics, len(routes))}
 	for _, r := range routes {
 		m.routes[r] = &routeMetrics{}
 	}
 	return m
+}
+
+// BuildInfo identifies the running binary in /metrics and as the
+// tddserve_build_info info-gauge in /metrics.prom.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Version   string `json:"version"`
+	Revision  string `json:"revision"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfoVal  BuildInfo
+)
+
+// binaryBuildInfo reads the module and VCS identity stamped into the
+// binary, once; "unknown" fields mean the binary was built without VCS
+// metadata (go test, go run).
+func binaryBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfoVal = BuildInfo{GoVersion: runtime.Version(), Version: "unknown", Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			buildInfoVal.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				buildInfoVal.Revision = s.Value
+			}
+		}
+	})
+	return buildInfoVal
+}
+
+// RuntimeSnapshot is the Go-runtime section of /metrics: scheduler and
+// heap health at snapshot time.
+type RuntimeSnapshot struct {
+	Goroutines    int    `json:"goroutines"`
+	HeapAlloc     uint64 `json:"heap_alloc_bytes"`
+	HeapSys       uint64 `json:"heap_sys_bytes"`
+	GCCycles      uint32 `json:"gc_cycles"`
+	GCPauseUs     int64  `json:"gc_pause_total_us"`
+	LastGCPauseUs int64  `json:"gc_pause_last_us"`
+}
+
+// runtimeSnapshot reads the runtime gauges. ReadMemStats stops the world
+// briefly; that is fine on a monitoring endpoint.
+func runtimeSnapshot() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeSnapshot{
+		Goroutines: runtime.NumGoroutine(),
+		HeapAlloc:  ms.HeapAlloc,
+		HeapSys:    ms.HeapSys,
+		GCCycles:   ms.NumGC,
+		GCPauseUs:  int64(ms.PauseTotalNs / 1000),
+	}
+	if ms.NumGC > 0 {
+		rs.LastGCPauseUs = int64(ms.PauseNs[(ms.NumGC+255)%256] / 1000)
+	}
+	return rs
 }
 
 func (m *Metrics) route(name string) *routeMetrics {
@@ -162,6 +233,12 @@ func (m *Metrics) route(name string) *routeMetrics {
 
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {
+	// Build and process identity: what binary this is and how long it has
+	// been serving.
+	Build     BuildInfo       `json:"build"`
+	UptimeSec float64         `json:"uptime_sec"`
+	Runtime   RuntimeSnapshot `json:"runtime"`
+
 	Requests    int64 `json:"requests"`
 	Errors      int64 `json:"errors"`
 	InFlight    int64 `json:"in_flight"`
@@ -233,6 +310,9 @@ type DurabilityStats struct {
 // trade-off.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
+		Build:         binaryBuildInfo(),
+		UptimeSec:     time.Since(m.start).Seconds(),
+		Runtime:       runtimeSnapshot(),
 		Requests:      m.Requests.Load(),
 		Errors:        m.Errors.Load(),
 		InFlight:      m.InFlight.Load(),

@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // promMetric describes one scalar family: name, type, help, and a loader.
@@ -81,6 +82,19 @@ func promLe(us int64) string {
 // sorted so the output is deterministic (and testable line-for-line).
 func (m *Metrics) writePrometheus(w io.Writer, programs map[string]ProgramStats, durability map[string]DurabilityStats,
 	queueDepth, queueCapacity int, shards []ShardSnapshot) {
+	bi := binaryBuildInfo()
+	fmt.Fprintf(w, "# HELP tddserve_build_info Build identity (info-style: value is always 1).\n# TYPE tddserve_build_info gauge\ntddserve_build_info{go_version=%q,version=%q,revision=%q} 1\n",
+		bi.GoVersion, bi.Version, bi.Revision)
+	fmt.Fprintf(w, "# HELP tddserve_uptime_seconds Seconds since the server's metrics were created.\n# TYPE tddserve_uptime_seconds gauge\ntddserve_uptime_seconds %s\n",
+		strconv.FormatFloat(time.Since(m.start).Seconds(), 'g', -1, 64))
+	rs := runtimeSnapshot()
+	fmt.Fprintf(w, "# HELP tddserve_goroutines Live goroutines in the serving process.\n# TYPE tddserve_goroutines gauge\ntddserve_goroutines %d\n", rs.Goroutines)
+	fmt.Fprintf(w, "# HELP tddserve_heap_alloc_bytes Heap bytes allocated and in use.\n# TYPE tddserve_heap_alloc_bytes gauge\ntddserve_heap_alloc_bytes %d\n", rs.HeapAlloc)
+	fmt.Fprintf(w, "# HELP tddserve_heap_sys_bytes Heap bytes obtained from the OS.\n# TYPE tddserve_heap_sys_bytes gauge\ntddserve_heap_sys_bytes %d\n", rs.HeapSys)
+	fmt.Fprintf(w, "# HELP tddserve_gc_cycles_total Completed garbage-collection cycles.\n# TYPE tddserve_gc_cycles_total counter\ntddserve_gc_cycles_total %d\n", rs.GCCycles)
+	fmt.Fprintf(w, "# HELP tddserve_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n# TYPE tddserve_gc_pause_seconds_total counter\ntddserve_gc_pause_seconds_total %s\n",
+		strconv.FormatFloat(float64(rs.GCPauseUs)/1e6, 'g', -1, 64))
+
 	for _, s := range promScalars {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.load(m))
 	}

@@ -219,7 +219,11 @@ func nextRev(rev, batch string) string {
 // serving structure.
 func (r *Registry) compile(src *programSource) (*entry, error) {
 	tr := obs.New()
-	opts := []tdd.Option{tdd.WithTrace(tr)}
+	// The join profiler is always on, like the lifetime trace: certification
+	// is the only join work a served program ever does, and its cost profile
+	// (?profile=1) is only available if it was recorded then. The enabled
+	// overhead is bounded by the E17 gate in scripts/ci.sh.
+	opts := []tdd.Option{tdd.WithTrace(tr), tdd.WithProfile()}
 	if r.maxWindow > 0 {
 		opts = append(opts, tdd.WithMaxWindow(r.maxWindow))
 	}

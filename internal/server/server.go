@@ -66,6 +66,10 @@ type Config struct {
 	// answers, or facts request that takes at least this long (default:
 	// disabled).
 	SlowQueryLog time.Duration
+	// SlowQueryKeep bounds the GET /debug/slow ring buffer of fully
+	// traced slow queries (default 64; <0 disables retention — slow
+	// queries still log, they just are not kept for later inspection).
+	SlowQueryKeep int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default:
 	// off — profiling endpoints expose internals and should be opted
 	// into).
@@ -120,6 +124,12 @@ func DefaultConfig(c Config) Config {
 	if c.ShardQueue <= 0 {
 		c.ShardQueue = c.Workers + c.Queue
 	}
+	if c.SlowQueryKeep == 0 {
+		c.SlowQueryKeep = 64
+	}
+	if c.SlowQueryKeep < 0 {
+		c.SlowQueryKeep = 0
+	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
@@ -147,18 +157,21 @@ func DefaultConfig(c Config) Config {
 // routeNames label metrics slots; they match the mux patterns below.
 var routeNames = []string{
 	"register", "list", "facts", "ask", "answers", "period", "spec", "wal", "healthz", "metrics", "metrics_prom",
+	"debug_flights", "debug_slow", "debug_shards",
 }
 
 // Server is the tddserve HTTP service: registry + spec cache + worker
 // pool + metrics behind a JSON API. Create with New, expose with
 // Handler or Serve, stop with Shutdown.
 type Server struct {
-	cfg     Config
-	reg     *Registry
-	pool    *Pool
-	metrics *Metrics
-	mux     *http.ServeMux
-	httpSrv *http.Server
+	cfg      Config
+	reg      *Registry
+	pool     *Pool
+	metrics  *Metrics
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	inflight *inflightTable
+	slow     *slowRing
 
 	// readOnly is set in follower mode: register and facts return 403.
 	readOnly bool
@@ -180,11 +193,13 @@ func New(cfg Config) (*Server, error) {
 	m := newMetrics(routeNames)
 	m.EvalParallelism.Store(int64(cfg.Parallelism))
 	s := &Server{
-		cfg:     cfg,
-		metrics: m,
-		reg:     NewRegistry(cfg.Shards, cfg.CacheSize, cfg.MaxWindow, cfg.Parallelism, m),
-		pool:    NewPool(cfg.Workers, cfg.Queue),
-		mux:     http.NewServeMux(),
+		cfg:      cfg,
+		metrics:  m,
+		reg:      NewRegistry(cfg.Shards, cfg.CacheSize, cfg.MaxWindow, cfg.Parallelism, m),
+		pool:     NewPool(cfg.Workers, cfg.Queue),
+		mux:      http.NewServeMux(),
+		inflight: newInflightTable(),
+		slow:     newSlowRing(cfg.SlowQueryKeep),
 	}
 	s.reg.setShardCapacity(cfg.ShardQueue)
 	if cfg.DataDir != "" {
@@ -228,6 +243,9 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("GET /metrics.prom", "metrics_prom", s.handleMetricsProm)
+	s.route("GET /debug/flights", "debug_flights", s.handleDebugFlights)
+	s.route("GET /debug/slow", "debug_slow", s.handleDebugSlow)
+	s.route("GET /debug/shards", "debug_shards", s.handleDebugShards)
 	if cfg.EnablePprof {
 		// Raw stdlib handlers, outside the instrumentation middleware:
 		// profile endpoints stream for configurable durations and would
@@ -281,10 +299,30 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 
 		// Every request gets a trace ID: echoed in the X-Trace-Id header,
 		// attached to the log line, and reused as the ?trace=1 trace ID so
-		// logs and phase trees join on it.
-		tid := obs.NewID()
+		// logs and phase trees join on it. An inbound X-Trace-Id (a proxy,
+		// or a follower correlating its replication fetches with the
+		// leader's logs) is honored so both sides log the same ID.
+		tid := r.Header.Get("X-Trace-Id")
+		if tid == "" || len(tid) > 64 {
+			tid = obs.NewID()
+		}
 		rec.Header().Set("X-Trace-Id", tid)
+		program := r.PathValue("id")
+		shardIdx := -1
+		if program != "" {
+			shardIdx = s.reg.shardIndex(program)
+		}
+		token := s.inflight.add(&inflightReq{
+			route:   name,
+			method:  r.Method,
+			path:    r.URL.Path,
+			program: program,
+			shard:   shardIdx,
+			traceID: tid,
+			started: start,
+		})
 		h(rec, r.WithContext(obs.WithID(r.Context(), tid)))
+		s.inflight.remove(token)
 
 		d := time.Since(start)
 		s.metrics.InFlight.Add(-1)

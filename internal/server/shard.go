@@ -64,16 +64,21 @@ func newShard(cacheCap int, onEvict func(string, *future)) *shard {
 	return sh
 }
 
-// shardFor maps a program id to its lock domain. The id is already a
-// content hash, but it is hex text with structure; one FNV-1a pass
-// spreads it uniformly over the shard count.
-func (r *Registry) shardFor(id string) *shard {
+// shardIndex maps a program id to its lock-domain index. The id is
+// already a content hash, but it is hex text with structure; one FNV-1a
+// pass spreads it uniformly over the shard count.
+func (r *Registry) shardIndex(id string) int {
 	if len(r.shards) == 1 {
-		return r.shards[0]
+		return 0
 	}
 	h := fnv.New32a()
 	h.Write([]byte(id)) //nolint:errcheck // fnv never fails
-	return r.shards[h.Sum32()%uint32(len(r.shards))]
+	return int(h.Sum32() % uint32(len(r.shards)))
+}
+
+// shardFor maps a program id to its lock domain.
+func (r *Registry) shardFor(id string) *shard {
+	return r.shards[r.shardIndex(id)]
 }
 
 // ShardCount reports the number of lock domains.

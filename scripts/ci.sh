@@ -59,6 +59,23 @@ echo "==> bench smoke (1 iteration)"
 go test -run '^$' -bench '^BenchmarkTraceOverhead$' -benchtime 1x .
 go test -run '^$' -bench '^BenchmarkParallelFixpoint$' -benchtime 1x ./internal/engine/
 
+echo "==> profiler overhead gate (enabled <= 1.05x disabled, min of 3)"
+# The E17 acceptance bound: the join profiler, fully enabled, must stay
+# within 5% of the uninstrumented pipeline. Single 25x runs are +-5%
+# noisy on shared runners, so each variant takes the minimum of three
+# runs before comparing — the minimum estimates the true cost, the rest
+# is scheduler noise.
+go test -run '^$' -bench '^BenchmarkProfileOverhead$' -benchtime 25x -count 3 . \
+    | awk '
+        /BenchmarkProfileOverhead\/disabled/ { if (!d || $3 < d) d = $3 }
+        /BenchmarkProfileOverhead\/profiled/ { if (!p || $3 < p) p = $3 }
+        END {
+            if (!d || !p) { print "profiler gate: benchmark produced no samples"; exit 1 }
+            ratio = p / d
+            printf "profiler overhead: disabled %d ns/op, profiled %d ns/op, ratio %.3f\n", d, p, ratio
+            if (ratio > 1.05) { print "profiler gate: enabled overhead exceeds 5%"; exit 1 }
+        }'
+
 echo "==> serving contention battery under GOMAXPROCS=4 -race"
 # The singleflight, shard gates, and writer-lock refcounting only see
 # real interleavings when the runtime can run handlers concurrently;
