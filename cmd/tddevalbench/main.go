@@ -1,0 +1,135 @@
+// Command tddevalbench measures the indexed join engine against the
+// nested-loop baseline on the E18 workload instances (order-scrambled
+// E1/E8 families, see internal/experiments.EvalBenchCases) and writes the
+// results as JSON — the generator behind BENCH_eval.json
+// (scripts/bench_eval.sh).
+//
+// Each instance is evaluated to its fixed window in both join modes; the
+// reported time is the minimum over -runs repetitions (the minimum
+// estimates the true cost, the rest is scheduler noise — same convention
+// as the ci.sh gates). The two modes must agree on the derived-fact count
+// or the tool fails: a benchmark of a wrong answer is worthless.
+//
+// Usage:
+//
+//	tddevalbench [-out BENCH_eval.json] [-runs 3] [-large-runs 1] [-skip-large]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tdd/internal/engine"
+	"tdd/internal/experiments"
+	"tdd/internal/parser"
+)
+
+type result struct {
+	Instance  string  `json:"instance"`
+	Params    string  `json:"params"`
+	Window    int     `json:"window"`
+	DBFacts   int     `json:"db_facts"`
+	Derived   int     `json:"derived"`
+	Runs      int     `json:"runs"`
+	NestedMs  float64 `json:"nested_ms"`
+	IndexedMs float64 `json:"indexed_ms"`
+	Ratio     float64 `json:"ratio"`   // indexed/nested; the ci.sh gate bounds this at 0.5
+	Speedup   float64 `json:"speedup"` // nested/indexed; >=10x expected on *_large
+}
+
+type report struct {
+	GeneratedBy string   `json:"generated_by"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	Note        string   `json:"note"`
+	Results     []result `json:"results"`
+}
+
+func measure(c experiments.EvalBenchCase, mode engine.JoinMode, runs int) (time.Duration, int, int, error) {
+	best := time.Duration(0)
+	derived, facts := 0, 0
+	for i := 0; i < runs; i++ {
+		prog, db, err := parser.ParseUnit(c.Rules + c.Facts)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		e, err := engine.New(prog, db)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		e.SetJoinMode(mode)
+		start := time.Now()
+		e.EnsureWindow(c.Window)
+		el := time.Since(start)
+		if i == 0 || el < best {
+			best = el
+		}
+		derived, facts = e.Stats().Derived, len(db.Facts)
+	}
+	return best, derived, facts, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_eval.json", "output file")
+	runs := flag.Int("runs", 3, "repetitions per small instance (minimum is reported)")
+	largeRuns := flag.Int("large-runs", 1, "repetitions per large instance")
+	skipLarge := flag.Bool("skip-large", false, "skip the *_large instances (nested baseline takes ~40s+ each)")
+	flag.Parse()
+
+	rep := report{
+		GeneratedBy: "tddevalbench",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Note:        "min-of-runs wall time of EnsureWindow per join mode; bodies are order-scrambled (generate-then-filter), see EXPERIMENTS.md E18",
+	}
+	for _, c := range experiments.EvalBenchCases() {
+		n := *runs
+		if c.Large {
+			if *skipLarge {
+				continue
+			}
+			n = *largeRuns
+		}
+		fmt.Fprintf(os.Stderr, "==> %s (%s) window=%d runs=%d\n", c.Name, c.Params, c.Window, n)
+		nst, dn, facts, err := measure(c, engine.JoinNestedLoop, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tddevalbench: %s nested: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		idx, di, _, err := measure(c, engine.JoinIndexed, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tddevalbench: %s indexed: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		if di != dn {
+			fmt.Fprintf(os.Stderr, "tddevalbench: %s: join modes disagree on derived facts (indexed %d, nested %d)\n", c.Name, di, dn)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, result{
+			Instance:  c.Name,
+			Params:    c.Params,
+			Window:    c.Window,
+			DBFacts:   facts,
+			Derived:   di,
+			Runs:      n,
+			NestedMs:  float64(nst.Microseconds()) / 1e3,
+			IndexedMs: float64(idx.Microseconds()) / 1e3,
+			Ratio:     float64(idx) / float64(nst),
+			Speedup:   float64(nst) / float64(idx),
+		})
+		fmt.Fprintf(os.Stderr, "    nested=%v indexed=%v speedup=%.1fx\n", nst, idx, float64(nst)/float64(idx))
+	}
+	buf, err := json.MarshalIndent(&rep, "", " ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tddevalbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tddevalbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tddevalbench: wrote %s\n", *out)
+}

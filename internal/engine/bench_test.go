@@ -172,3 +172,48 @@ func BenchmarkStateCanonicalization(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkIndexedJoin is the regression benchmark behind the ci.sh
+// indexed-join gate and the small-instance rows of BENCH_eval.json
+// (scripts/bench_eval.sh runs the large instances). Both families are
+// generated in "generate-then-filter" body order — the writing a join
+// planner exists for: the indexed engine recovers the selective order
+// from cardinalities and probes through multi-column indexes, while the
+// nested-loop mode (the pre-planner engine: source order, first-column
+// index only) degenerates to enumerating resorts (E1) or an
+// O(|path|·|edge|) per-state cross-product (E8). ci.sh fails if the
+// min-of-3 indexed/nested time ratio of either family regresses above
+// 0.5.
+func BenchmarkIndexedJoin(b *testing.B) {
+	for _, fam := range []struct {
+		name   string
+		rules  string
+		facts  string
+		window int
+	}{
+		{name: "E1_ski", window: 120},
+		{name: "E8_reach", window: 24},
+	} {
+		switch fam.name {
+		case "E1_ski":
+			fam.rules, fam.facts = workload.Ski(workload.SkiParams{
+				YearLen: 40, Resorts: 1024, Planes: 32, Holidays: 4, ResortFirst: true, Seed: 42})
+		case "E8_reach":
+			fam.rules, fam.facts = workload.Reachability(workload.ReachParams{
+				Nodes: 192, Edges: 288, PathFirst: true, Seed: 13})
+		}
+		src := fam.rules + fam.facts
+		for _, mode := range []struct {
+			name string
+			m    JoinMode
+		}{{"indexed", JoinIndexed}, {"nested", JoinNestedLoop}} {
+			b.Run(fam.name+"/"+mode.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e := benchEval(b, src)
+					e.SetJoinMode(mode.m)
+					e.EnsureWindow(fam.window)
+				}
+			})
+		}
+	}
+}

@@ -57,7 +57,10 @@ func (e *Evaluator) ensureBaseSet() {
 // compiled rules are immutable after New and are shared. Writes to the
 // clone (InsertBase, PropagateDelta, EnsureWindow) are invisible to the
 // original, which makes Clone the basis of the copy-on-write snapshot
-// discipline used by incremental ingestion.
+// discipline used by incremental ingestion. Join plans are deliberately
+// NOT copied: their step counters point into the parent's Stats.Index
+// cells, so the clone re-plans at its next fixpoint entry and binds fresh
+// counters of its own (stats.Clone deep-copies the cells).
 func (e *Evaluator) Clone() *Evaluator {
 	c := &Evaluator{
 		prog:      e.prog,
@@ -71,6 +74,9 @@ func (e *Evaluator) Clone() *Evaluator {
 		prof:      e.prof, // shared: the profile spans the database lifetime
 		par:       e.par,
 		maxHead:   e.maxHead,
+		mode:      e.mode,
+		derived:   e.derived, // immutable after New
+		maxSlots:  e.maxSlots,
 	}
 	if e.prov != nil {
 		c.prov = make(map[string]*Derivation, len(e.prov))
@@ -90,6 +96,11 @@ func (e *Evaluator) Clone() *Evaluator {
 func (e *Evaluator) InsertBase(f ast.Fact) (bool, error) {
 	if f.Temporal && f.Time < 0 {
 		return false, fmt.Errorf("engine: fact %s has a negative time point", f)
+	}
+	for _, a := range f.Args {
+		if a == "" {
+			return false, fmt.Errorf("engine: fact %s has an empty constant", f)
+		}
 	}
 	info := ast.PredInfo{Name: f.Pred, Temporal: f.Temporal, Arity: len(f.Args)}
 	if prev, ok := e.prog.Preds[f.Pred]; ok && prev != info {
@@ -128,6 +139,7 @@ func (e *Evaluator) PropagateDelta(seed []ast.Fact) int {
 	e.ensureOcc()
 	e.prof.lock()
 	defer e.prof.unlock()
+	e.planJoins()
 	sp := e.tr.Begin("delta-propagate")
 	rounds := 0
 	total := 0
@@ -198,83 +210,31 @@ func (e *Evaluator) inRange(r *crule, T, m int) bool {
 }
 
 // fireDelta fires rule r with body literal pin bound to the delta fact f
-// and the temporal variable bound to T, joining the remaining literals
-// against the full store. New head facts are appended to out.
+// and the temporal variable bound to T, joining the remaining literals —
+// in the pin's delta-plan order — against the full store. Head times are
+// capped at m; new head facts are appended to out.
 func (e *Evaluator) fireDelta(r *crule, pin int, f ast.Fact, T, m int, out *[]ast.Fact) {
-	en := env{time: T, vals: make(map[string]string, 8)}
+	en := &e.en
+	en.time = T
+	plan := &e.deltaPlans[r.idx][pin]
+	added := 0
+	mark := len(en.trail)
 	if e.prof == nil {
-		if !e.matchArgs(r.body[pin].Args, f.Args, &en) {
-			return
+		if matchCompiled(r.bodyC[pin], f.Args, en) {
+			e.join(r, plan, 0, en, m, out, &added)
 		}
-		e.deltaJoin(r, 0, pin, &en, m, out)
+		en.undo(mark)
 		return
 	}
 	start := obs.ClockNS()
 	pc := e.prof.buf.rec(r).litCell(pin, stratumOf(T))
 	pc.scanned++
-	if e.matchArgs(r.body[pin].Args, f.Args, &en) {
+	if matchCompiled(r.bodyC[pin], f.Args, en) {
 		pc.matched++
-		e.deltaJoin(r, 0, pin, &en, m, out)
+		e.join(r, plan, 0, en, m, out, &added)
 	}
+	en.undo(mark)
 	c := e.prof.buf.rec(r).ruleCell(stratumOf(T))
 	c.calls++
 	c.ns += obs.ClockNS() - start
-}
-
-// deltaJoin is join with literal pin already bound and head times capped
-// at m (facts beyond the window are left to EnsureWindow).
-func (e *Evaluator) deltaJoin(r *crule, i, pin int, en *env, m int, out *[]ast.Fact) {
-	if i == pin {
-		e.deltaJoin(r, i+1, pin, en, m, out)
-		return
-	}
-	if i >= len(r.body) {
-		if r.head.Time != nil && en.time+r.head.Time.Depth > m {
-			return
-		}
-		if f, ok := e.emit(r, en); ok {
-			*out = append(*out, f)
-		}
-		return
-	}
-	a := r.body[i]
-	var rs *relset
-	if a.Time != nil {
-		rs = e.store.at(a.Pred, en.time+a.Time.Depth)
-	} else {
-		rs = e.store.nt(a.Pred)
-	}
-	if rs == nil {
-		return
-	}
-	var lc *litCell
-	if e.prof != nil {
-		lc = e.prof.buf.rec(r).litCell(i, stratumOf(en.time))
-	}
-	visit := func(tup []string) bool {
-		if lc != nil {
-			lc.scanned++
-		}
-		mark := len(en.trail)
-		if e.matchArgs(a.Args, tup, en) {
-			if lc != nil {
-				lc.matched++
-			}
-			e.deltaJoin(r, i+1, pin, en, m, out)
-		}
-		en.undo(mark)
-		return true
-	}
-	if len(a.Args) > 0 {
-		first := a.Args[0]
-		if !first.IsVar {
-			rs.withFirst(first.Name, visit)
-			return
-		}
-		if v, ok := en.vals[first.Name]; ok {
-			rs.withFirst(v, visit)
-			return
-		}
-	}
-	rs.all(visit)
 }

@@ -43,10 +43,17 @@ type Stats struct {
 	// StoreGrowth records the total store size after each window
 	// extension (EnsureWindow call that did work), oldest first.
 	StoreGrowth []int
+	// Index counts join-side relation accesses per body predicate: index
+	// bucket probes vs full scans (see IndexStat, plan.go). Like every
+	// other counter it is bit-identical across worker counts.
+	Index map[string]*IndexStat
 }
 
 // Clone deep-copies the stats so a snapshot does not alias the
-// evaluator's live counters.
+// evaluator's live counters. The Index cells in particular are written
+// through cached pointers on the join hot path, so sharing them between
+// an evaluator and its clone (or a snapshot) would corrupt both under
+// concurrent ingestion.
 func (s Stats) Clone() Stats {
 	c := s
 	c.Rules = append([]RuleStat(nil), s.Rules...)
@@ -58,7 +65,22 @@ func (s Stats) Clone() Stats {
 			c.DeltaByTime[k] = v
 		}
 	}
+	if s.Index != nil {
+		c.Index = make(map[string]*IndexStat, len(s.Index))
+		for k, v := range s.Index {
+			cv := *v
+			c.Index[k] = &cv
+		}
+	}
 	return c
+}
+
+// carg is one compiled argument position: a slot number for a variable,
+// or slot -1 with the literal text for a constant. Slots are per-rule,
+// assigned in order of first appearance across the body then the head.
+type carg struct {
+	slot int
+	name string
 }
 
 // crule is a compiled (shift-normalized) rule.
@@ -80,6 +102,11 @@ type crule struct {
 	// through one of them, so later iterations skip the rule unless the
 	// previous iteration added a matching predicate (semi-naive).
 	samePreds []string
+	// nslots is the rule's variable-slot count; headC/bodyC are the
+	// slot-compiled argument lists (parallel to head.Args / body[i].Args).
+	nslots int
+	headC  []carg
+	bodyC  [][]carg
 }
 
 // Evaluator computes the least model of prog ∧ db restricted to a growing
@@ -118,6 +145,28 @@ type Evaluator struct {
 	// every temporal head is at depth 0 or there are none). The parallel
 	// schedule uses it to bound which states a merged fact can affect.
 	maxHead int
+	// mode selects the join strategy (plan.go); JoinIndexed by default.
+	mode JoinMode
+	// derived marks predicates appearing in some rule head: the planner
+	// treats their empty relations as database-sized rather than free,
+	// since they can grow within a fixpoint entry (plan.go).
+	derived map[string]bool
+	// plans/deltaPlans are the per-rule join orders, recomputed at every
+	// fixpoint entry by planJoins; deltaPlans[i][pin] is rule i's plan
+	// with body literal pin pre-bound. stepPreds/stepIndexed describe the
+	// plans' global step ids for the parallel merge (plan.go).
+	plans       []joinPlan
+	deltaPlans  [][]joinPlan
+	stepPreds   []string
+	stepIndexed []bool
+	// maxSlots sizes the scratch binding environment; en/headBuf/keyBuf
+	// are reused across firings on the sequential path (the evaluator is
+	// single-writer, so one scratch set suffices; parallel tasks carry
+	// their own).
+	maxSlots int
+	en       env
+	headBuf  []string
+	keyBuf   []byte
 }
 
 // New compiles and validates a program/database pair. The program must be
@@ -157,10 +206,43 @@ func New(prog *ast.Program, db *ast.Database) (*Evaluator, error) {
 				c.samePreds = append(c.samePreds, a.Pred)
 			}
 		}
+		// Slot-compile the arguments: data variables become integer slots
+		// in the binding environment (the temporal variable lives in
+		// env.time and never appears as a data argument slot).
+		slots := make(map[string]int)
+		compile := func(args []ast.Symbol) []carg {
+			out := make([]carg, len(args))
+			for i, sym := range args {
+				if !sym.IsVar {
+					out[i] = carg{slot: -1, name: sym.Name}
+					continue
+				}
+				sl, ok := slots[sym.Name]
+				if !ok {
+					sl = len(slots)
+					slots[sym.Name] = sl
+				}
+				out[i] = carg{slot: sl}
+			}
+			return out
+		}
+		c.bodyC = make([][]carg, len(c.body))
+		for i := range c.body {
+			c.bodyC[i] = compile(c.body[i].Args)
+		}
+		c.headC = compile(c.head.Args)
+		c.nslots = len(slots)
+		if c.nslots > e.maxSlots {
+			e.maxSlots = c.nslots
+		}
 		if c.headDepth > e.maxHead {
 			e.maxHead = c.headDepth
 		}
 		e.rules = append(e.rules, c)
+	}
+	e.derived = make(map[string]bool, len(e.rules))
+	for i := range e.rules {
+		e.derived[e.rules[i].head.Pred] = true
 	}
 	e.stats.Rules = make([]RuleStat, len(e.rules))
 	for i := range e.rules {
@@ -176,7 +258,8 @@ func New(prog *ast.Program, db *ast.Database) (*Evaluator, error) {
 func (e *Evaluator) Store() *Store { return e.store }
 
 // Stats returns a snapshot of the accumulated work counters (the
-// extension slices are deep-copied; the evaluator keeps counting).
+// extension slices and index cells are deep-copied; the evaluator keeps
+// counting).
 func (e *Evaluator) Stats() Stats { return e.stats.Clone() }
 
 // SetParallelism selects the evaluation schedule. n <= 0 (the default)
@@ -198,6 +281,18 @@ func (e *Evaluator) SetParallelism(n int) {
 
 // Parallelism returns the configured worker bound (0 = sequential).
 func (e *Evaluator) Parallelism() int { return e.par }
+
+// SetJoinMode selects the join strategy (see plan.go): JoinIndexed — the
+// default — plans the body order and probes multi-column hash indexes;
+// JoinNestedLoop is the historical source-order nested-loop engine, kept
+// as a differential baseline. Both compute the same least model; work
+// counters that depend on enumeration order (Firings, per-rule
+// attribution, profiler scan counts) are comparable only within one
+// mode. Callers set the mode before evaluation starts.
+func (e *Evaluator) SetJoinMode(m JoinMode) { e.mode = m }
+
+// JoinMode returns the configured join strategy.
+func (e *Evaluator) JoinMode() JoinMode { return e.mode }
 
 // SetTrace attaches (or, with nil, detaches) a trace: EnsureWindow and
 // PropagateDelta record fixpoint/sweep/delta spans into it. Callers
@@ -231,6 +326,7 @@ func (e *Evaluator) EnsureWindow(m int) {
 	}
 	e.prof.lock()
 	defer e.prof.unlock()
+	e.planJoins()
 	sp := e.tr.Begin("fixpoint")
 	from := e.evaluated
 	f0, d0, s0 := e.stats.Firings, e.stats.Derived, e.stats.Sweeps
@@ -337,41 +433,108 @@ func (e *Evaluator) evalNonTemporalRules(m int) int {
 	}
 }
 
-// env is a mutable binding environment with an undo trail.
+// env is a mutable binding environment with an undo trail. vals is
+// indexed by slot; "" means unbound (constants are never empty — the
+// parser cannot produce an empty constant and InsertBase rejects empty
+// arguments).
 type env struct {
 	time  int // binding of the rule's temporal variable
-	vals  map[string]string
-	trail []string
+	vals  []string
+	trail []int
+}
+
+func (en *env) undo(mark int) {
+	for len(en.trail) > mark {
+		sl := en.trail[len(en.trail)-1]
+		en.trail = en.trail[:len(en.trail)-1]
+		en.vals[sl] = ""
+	}
+}
+
+// matchCompiled unifies the compiled pattern against the tuple, extending
+// en (recording new bindings on the trail). Returns false on mismatch;
+// the caller undoes to its mark either way.
+func matchCompiled(pat []carg, tup []string, en *env) bool {
+	if len(pat) != len(tup) {
+		return false
+	}
+	for i, c := range pat {
+		if c.slot < 0 {
+			if c.name != tup[i] {
+				return false
+			}
+			continue
+		}
+		if v := en.vals[c.slot]; v != "" {
+			if v != tup[i] {
+				return false
+			}
+			continue
+		}
+		en.vals[c.slot] = tup[i]
+		en.trail = append(en.trail, c.slot)
+	}
+	return true
+}
+
+// appendEnvMaskKey builds the index-bucket key for the masked columns of
+// the compiled pattern under the current bindings. Every masked column is
+// a constant or a bound slot by plan construction.
+func appendEnvMaskKey(dst []byte, pat []carg, mask uint32, en *env) []byte {
+	for i := 0; i < len(pat); i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if c := pat[i]; c.slot < 0 {
+			dst = append(dst, c.name...)
+		} else {
+			dst = append(dst, en.vals[c.slot]...)
+		}
+		dst = append(dst, 0)
+	}
+	return dst
 }
 
 // fireRule instantiates rule r with its temporal variable bound to T (T is
 // ignored for rules without one) and inserts all derivable head facts.
 // Returns the number of new facts.
 func (e *Evaluator) fireRule(r *crule, T int) int {
-	en := env{time: T, vals: make(map[string]string, 8)}
+	en := &e.en
+	en.time = T
 	added := 0
 	if e.prof == nil {
-		e.join(r, 0, &en, &added)
+		e.join(r, &e.plans[r.idx], 0, en, -1, nil, &added)
 		return added
 	}
 	start := obs.ClockNS()
-	e.join(r, 0, &en, &added)
+	e.join(r, &e.plans[r.idx], 0, en, -1, nil, &added)
 	c := e.prof.buf.rec(r).ruleCell(stratumOf(T))
 	c.calls++
 	c.ns += obs.ClockNS() - start
 	return added
 }
 
-// join matches body literals from index i onward, and on a complete match
-// emits the head.
-func (e *Evaluator) join(r *crule, i int, en *env, added *int) {
-	if i == len(r.body) {
-		if _, ok := e.emit(r, en); ok {
+// join matches the body literals in plan order from step si onward, and
+// on a complete match emits the head. Each step streams the matching
+// index bucket (or, with mask 0, the full relation list) of its literal;
+// a negative capm disables the head-time cap (delta propagation caps at
+// the window, leaving deeper facts to EnsureWindow). When out is non-nil
+// newly derived facts are appended to it (the delta frontier).
+func (e *Evaluator) join(r *crule, plan *joinPlan, si int, en *env, capm int, out *[]ast.Fact, added *int) {
+	if si == len(plan.steps) {
+		if capm >= 0 && r.head.Time != nil && en.time+r.head.Time.Depth > capm {
+			return
+		}
+		if f, ok := e.emit(r, en); ok {
 			*added++
+			if out != nil {
+				*out = append(*out, f)
+			}
 		}
 		return
 	}
-	a := r.body[i]
+	st := &plan.steps[si]
+	a := &r.body[st.lit]
 	var rs *relset
 	if a.Time != nil {
 		rs = e.store.at(a.Pred, en.time+a.Time.Depth)
@@ -381,115 +544,116 @@ func (e *Evaluator) join(r *crule, i int, en *env, added *int) {
 	if rs == nil {
 		return
 	}
-	var lc *litCell
-	if e.prof != nil {
-		lc = e.prof.buf.rec(r).litCell(i, stratumOf(en.time))
+	*st.ctr++
+	pat := r.bodyC[st.lit]
+	var tuples [][]string
+	if st.mask != 0 {
+		e.keyBuf = appendEnvMaskKey(e.keyBuf[:0], pat, st.mask, en)
+		tuples = rs.bucket(st.mask, e.keyBuf)
+	} else {
+		tuples = rs.list
 	}
-	visit := func(tup []string) bool {
-		if lc != nil {
-			lc.scanned++
-		}
-		mark := len(en.trail)
-		if e.matchArgs(a.Args, tup, en) {
-			if lc != nil {
-				lc.matched++
+	// The profiled and unprofiled loops are kept separate so the
+	// uninstrumented hot path carries no per-tuple branches, and the
+	// profiled one pays only a local register increment per match:
+	// scanned is exactly len(tuples) (every tuple is visited), and
+	// matched flushes to the stratum cell once per scan. The cell
+	// pointer stays valid across the recursion because each step binds
+	// a distinct body literal, so deeper steps grow other lit slices.
+	if e.prof != nil {
+		lc := e.prof.buf.rec(r).litCell(st.lit, stratumOf(en.time))
+		lc.scanned += int64(len(tuples))
+		matched := int64(0)
+		for _, tup := range tuples {
+			mark := len(en.trail)
+			if matchCompiled(pat, tup, en) {
+				matched++
+				e.join(r, plan, si+1, en, capm, out, added)
 			}
-			e.join(r, i+1, en, added)
+			en.undo(mark)
+		}
+		lc.matched += matched
+		return
+	}
+	for _, tup := range tuples {
+		mark := len(en.trail)
+		if matchCompiled(pat, tup, en) {
+			e.join(r, plan, si+1, en, capm, out, added)
 		}
 		en.undo(mark)
-		return true
 	}
-	// Use the first-column index when the first argument is already
-	// determined.
-	if len(a.Args) > 0 {
-		first := a.Args[0]
-		if !first.IsVar {
-			rs.withFirst(first.Name, visit)
-			return
-		}
-		if v, ok := en.vals[first.Name]; ok {
-			rs.withFirst(v, visit)
-			return
-		}
-	}
-	rs.all(visit)
 }
 
 // emit fires rule r under the complete binding en: it instantiates the
 // head and inserts it, maintaining the work counters and (when enabled)
-// provenance. It reports the head fact and whether it was new.
+// provenance. It reports the head fact and whether it was new. The
+// duplicate case — the overwhelmingly common one at fixpoint — allocates
+// nothing: the head is built into a scratch buffer and membership is
+// probed with a byte-slice key.
 func (e *Evaluator) emit(r *crule, en *env) (ast.Fact, bool) {
 	e.stats.Firings++
 	e.stats.Rules[r.idx].Firings++
-	f := e.instantiate(r.head, en)
-	if !e.store.Insert(f) {
-		return f, false
+	hb := e.headBuf[:0]
+	for _, c := range r.headC {
+		if c.slot < 0 {
+			hb = append(hb, c.name)
+			continue
+		}
+		v := en.vals[c.slot]
+		if v == "" {
+			panic(fmt.Sprintf("engine: unbound head variable in %s", r.src))
+		}
+		hb = append(hb, v)
 	}
+	e.headBuf = hb
+	temporal := r.head.Time != nil
+	t := 0
+	var rs *relset
+	if temporal {
+		t = en.time + r.head.Time.Depth
+		rs = e.store.at(r.head.Pred, t)
+	} else {
+		rs = e.store.nt(r.head.Pred)
+	}
+	if rs != nil {
+		e.keyBuf = appendTupleKey(e.keyBuf[:0], hb)
+		if rs.hasKey(e.keyBuf) {
+			return ast.Fact{}, false
+		}
+	}
+	f := ast.Fact{Pred: r.head.Pred, Temporal: temporal, Time: t, Args: append([]string(nil), hb...)}
+	e.store.Insert(f)
 	e.stats.Derived++
 	e.stats.Rules[r.idx].Derived++
 	if e.prov != nil {
 		body := make([]ast.Fact, len(r.body))
-		for j, a := range r.body {
-			body[j] = e.instantiate(a, en)
+		for j := range r.body {
+			body[j] = factFor(&r.body[j], r.bodyC[j], en)
 		}
 		e.prov[factKey(f)] = &Derivation{Rule: r.src, Time: en.time, Body: body}
 	}
 	return f, true
 }
 
-// matchArgs unifies the pattern against the tuple, extending en (recording
-// new bindings on the trail). Returns false on mismatch; the caller undoes
-// to its mark either way.
-func (e *Evaluator) matchArgs(args []ast.Symbol, tup []string, en *env) bool {
-	if len(args) != len(tup) {
-		return false
-	}
-	for i, s := range args {
-		if !s.IsVar {
-			if s.Name != tup[i] {
-				return false
-			}
-			continue
-		}
-		if v, ok := en.vals[s.Name]; ok {
-			if v != tup[i] {
-				return false
-			}
-			continue
-		}
-		en.vals[s.Name] = tup[i]
-		en.trail = append(en.trail, s.Name)
-	}
-	return true
-}
-
-func (en *env) undo(mark int) {
-	for len(en.trail) > mark {
-		name := en.trail[len(en.trail)-1]
-		en.trail = en.trail[:len(en.trail)-1]
-		delete(en.vals, name)
-	}
-}
-
-// instantiate builds the ground head fact under en. The rule is
-// range-restricted, so every head variable is bound.
-func (e *Evaluator) instantiate(head ast.Atom, en *env) ast.Fact {
-	f := ast.Fact{Pred: head.Pred}
-	if head.Time != nil {
+// factFor builds the ground fact of one rule atom under en (head or body;
+// every variable must be bound — the rule is range-restricted).
+func factFor(a *ast.Atom, pat []carg, en *env) ast.Fact {
+	f := ast.Fact{Pred: a.Pred}
+	if a.Time != nil {
 		f.Temporal = true
-		f.Time = en.time + head.Time.Depth
+		f.Time = en.time + a.Time.Depth
 	}
-	f.Args = make([]string, len(head.Args))
-	for i, s := range head.Args {
-		if s.IsVar {
-			v, ok := en.vals[s.Name]
-			if !ok {
-				panic(fmt.Sprintf("engine: unbound head variable %s in %s", s.Name, head))
-			}
-			f.Args[i] = v
+	f.Args = make([]string, len(pat))
+	for i, c := range pat {
+		if c.slot < 0 {
+			f.Args[i] = c.name
 			continue
 		}
-		f.Args[i] = s.Name
+		v := en.vals[c.slot]
+		if v == "" {
+			panic(fmt.Sprintf("engine: unbound variable in %s", a))
+		}
+		f.Args[i] = v
 	}
 	return f
 }

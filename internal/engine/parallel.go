@@ -14,7 +14,11 @@ package engine
 // per-task evaluation, and the merge order depend only on store content
 // (never on worker count or goroutine interleaving), the derived-fact
 // order, Stats tables, and trace counters are bit-identical for every
-// parallelism level n >= 1 and across repeated runs.
+// parallelism level n >= 1 and across repeated runs. Join plans keep
+// this property: they are recomputed at the fixpoint entry — before any
+// round — from the store's cardinality counters, so every worker joins
+// in the same order, and index builds inside a round are idempotent CAS
+// installs over the frozen tuple lists (store.go).
 //
 // Chomicki's time-stratification is what makes the partition safe and
 // cheap: the program is forward (every temporal head at least as deep as
@@ -54,6 +58,7 @@ type cand struct {
 type taskResult struct {
 	cands   []cand
 	firings []int    // per-rule successful instantiations; nil until first
+	steps   []int64  // per-plan-step relation accesses (Stats.Index); nil until first
 	prof    *profBuf // per-task profiler counters; nil until first touch
 }
 
@@ -110,9 +115,10 @@ func (e *Evaluator) runTasks(n int, run func(i int)) {
 // then tuple; ties — the same fact reached by several tasks — resolve to
 // the earliest task, and within a task to emission order (the sort is
 // stable over the task-ordered concatenation). Per-rule firing counts
-// are summed (order-independent); Derived and provenance attribution
-// follow the canonical order. Returns the newly inserted facts, in
-// canonical order. delta selects DeltaByTime accounting.
+// and per-step index counters are summed (order-independent); Derived
+// and provenance attribution follow the canonical order. Returns the
+// newly inserted facts, in canonical order. delta selects DeltaByTime
+// accounting.
 func (e *Evaluator) mergeRound(results []taskResult, delta bool) []ast.Fact {
 	total := 0
 	for i := range results {
@@ -125,6 +131,18 @@ func (e *Evaluator) mergeRound(results []taskResult, delta bool) []ast.Fact {
 			if n != 0 {
 				e.stats.Firings += n
 				e.stats.Rules[r].Firings += n
+			}
+		}
+		// Fold the per-task index counters into Stats.Index. Summation
+		// commutes, so the totals are identical for every worker count.
+		for sid, n := range res.steps {
+			if n != 0 {
+				st := e.stats.Index[e.stepPreds[sid]]
+				if e.stepIndexed[sid] {
+					st.Probes += n
+				} else {
+					st.Scans += n
+				}
 			}
 		}
 		// Fold per-task profiler counters into the shared profile (the
@@ -194,7 +212,9 @@ func (e *Evaluator) mergeRound(results []taskResult, delta bool) []ast.Fact {
 // point, giving them the same local-fixpoint visibility the sequential
 // evalState has; non-temporal and delta tasks (t < 0) only deduplicate
 // their emissions. cap, when >= 0, suppresses temporal heads beyond the
-// window (delta propagation leaves those to EnsureWindow).
+// window (delta propagation leaves those to EnsureWindow). The binding
+// environment and head/key scratch buffers are task-private and reused
+// across the task's firings.
 type parTask struct {
 	e        *Evaluator
 	t        int // overlay time point; -1 for non-temporal / delta tasks
@@ -203,58 +223,92 @@ type parTask struct {
 	dedup    map[string]struct{}
 	res      *taskResult
 	cap      int
+	en       env
+	headBuf  []string
+	keyBuf   []byte
+}
+
+// count records one relation access for a plan step in the task's
+// private counter slice (merged into Stats.Index by mergeRound).
+func (w *parTask) count(st *planStep, n int64) {
+	if w.res.steps == nil {
+		w.res.steps = make([]int64, len(w.e.stepPreds))
+	}
+	w.res.steps[st.sid] += n
 }
 
 // emit records a firing and, if the head fact is new to the store and to
 // this task, buffers it as a candidate. Temporal state tasks also make
-// it visible to their own subsequent joins through the overlay.
+// it visible to their own subsequent joins through the overlay. Like the
+// sequential emit, the duplicate case allocates nothing.
 func (w *parTask) emit(r *crule, en *env) bool {
-	w.res.firing(len(w.e.rules), r.idx)
-	f := w.e.instantiate(r.head, en)
-	if f.Temporal && w.ov != nil {
-		if w.e.store.at(f.Pred, f.Time).has(f.Args) {
+	e := w.e
+	w.res.firing(len(e.rules), r.idx)
+	hb := w.headBuf[:0]
+	for _, c := range r.headC {
+		if c.slot < 0 {
+			hb = append(hb, c.name)
+			continue
+		}
+		hb = append(hb, en.vals[c.slot])
+	}
+	w.headBuf = hb
+	temporal := r.head.Time != nil
+	t := 0
+	if temporal {
+		t = en.time + r.head.Time.Depth
+	}
+	w.keyBuf = appendTupleKey(w.keyBuf[:0], hb)
+	var f ast.Fact
+	if temporal && w.ov != nil {
+		if e.store.at(r.head.Pred, t).hasKey(w.keyBuf) {
 			return false
 		}
-		rs := w.ov[f.Pred]
+		rs := w.ov[r.head.Pred]
 		if rs == nil {
 			rs = newRelset()
-			w.ov[f.Pred] = rs
+			w.ov[r.head.Pred] = rs
 		}
-		if !rs.insert(f.Args) {
+		if rs.hasKey(w.keyBuf) {
 			return false
 		}
+		rs.insert(hb)
 		if w.newPreds != nil {
-			w.newPreds[f.Pred] = struct{}{}
+			w.newPreds[r.head.Pred] = struct{}{}
 		}
+		f = ast.Fact{Pred: r.head.Pred, Temporal: true, Time: t, Args: append([]string(nil), hb...)}
 	} else {
-		if w.e.store.Has(f) {
+		if temporal {
+			if e.store.at(r.head.Pred, t).hasKey(w.keyBuf) {
+				return false
+			}
+		} else if e.store.nt(r.head.Pred).hasKey(w.keyBuf) {
 			return false
 		}
+		f = ast.Fact{Pred: r.head.Pred, Temporal: temporal, Time: t, Args: append([]string(nil), hb...)}
 		k := factKey(f)
 		if _, ok := w.dedup[k]; ok {
 			return false
 		}
 		w.dedup[k] = struct{}{}
 	}
-	c := cand{f: f, key: tupleKey(f.Args), rule: r.idx, time: en.time}
-	if w.e.prov != nil {
+	c := cand{f: f, key: string(w.keyBuf), rule: r.idx, time: en.time}
+	if e.prov != nil {
 		c.body = make([]ast.Fact, len(r.body))
-		for j, a := range r.body {
-			c.body[j] = w.e.instantiate(a, en)
+		for j := range r.body {
+			c.body[j] = factFor(&r.body[j], r.bodyC[j], en)
 		}
 	}
 	w.res.cands = append(w.res.cands, c)
 	return true
 }
 
-// join is eval.go's join against the frozen store plus the task overlay.
-// pin skips an already-bound delta literal (-1 for none).
-func (w *parTask) join(r *crule, i, pin int, en *env, added *int) {
-	if i == pin {
-		w.join(r, i+1, pin, en, added)
-		return
-	}
-	if i >= len(r.body) {
+// join is eval.go's join against the frozen store plus the task overlay:
+// plan-ordered steps, each streaming the matching index bucket of the
+// base relation and then of the overlay (base first preserves the
+// sequential enumeration order within a step).
+func (w *parTask) join(r *crule, plan *joinPlan, si int, en *env, added *int) {
+	if si == len(plan.steps) {
 		if w.cap >= 0 && r.head.Time != nil && en.time+r.head.Time.Depth > w.cap {
 			return
 		}
@@ -263,7 +317,8 @@ func (w *parTask) join(r *crule, i, pin int, en *env, added *int) {
 		}
 		return
 	}
-	a := r.body[i]
+	st := &plan.steps[si]
+	a := &r.body[st.lit]
 	var base, ov *relset
 	if a.Time != nil {
 		bt := en.time + a.Time.Depth
@@ -277,52 +332,69 @@ func (w *parTask) join(r *crule, i, pin int, en *env, added *int) {
 	if base == nil && ov == nil {
 		return
 	}
-	var lc *litCell
+	n := int64(0)
+	if base != nil {
+		n++
+	}
+	if ov != nil {
+		n++
+	}
+	w.count(st, n)
+	pat := r.bodyC[st.lit]
+	var baseTuples, ovTuples [][]string
+	if st.mask != 0 {
+		w.keyBuf = appendEnvMaskKey(w.keyBuf[:0], pat, st.mask, en)
+		baseTuples = base.bucket(st.mask, w.keyBuf)
+		ovTuples = ov.bucket(st.mask, w.keyBuf)
+	} else {
+		baseTuples = base.tuples()
+		ovTuples = ov.tuples()
+	}
+	// Mirror of eval.go's join: the unprofiled loop carries no per-tuple
+	// branches; the profiled one counts matches in a local and flushes
+	// once per scan (scanned is exactly the number of tuples visited).
 	if w.e.prof != nil {
-		lc = w.res.profBuf(len(w.e.rules)).rec(r).litCell(i, stratumOf(en.time))
-	}
-	visit := func(tup []string) bool {
-		if lc != nil {
-			lc.scanned++
-		}
-		mark := len(en.trail)
-		if w.e.matchArgs(a.Args, tup, en) {
-			if lc != nil {
-				lc.matched++
+		lc := w.res.profBuf(len(w.e.rules)).rec(r).litCell(st.lit, stratumOf(en.time))
+		lc.scanned += int64(len(baseTuples) + len(ovTuples))
+		matched := int64(0)
+		for _, tuples := range [2][][]string{baseTuples, ovTuples} {
+			for _, tup := range tuples {
+				mark := len(en.trail)
+				if matchCompiled(pat, tup, en) {
+					matched++
+					w.join(r, plan, si+1, en, added)
+				}
+				en.undo(mark)
 			}
-			w.join(r, i+1, pin, en, added)
 		}
-		en.undo(mark)
-		return true
+		lc.matched += matched
+		return
 	}
-	if len(a.Args) > 0 {
-		first := a.Args[0]
-		if !first.IsVar {
-			base.withFirst(first.Name, visit)
-			ov.withFirst(first.Name, visit)
-			return
-		}
-		if v, ok := en.vals[first.Name]; ok {
-			base.withFirst(v, visit)
-			ov.withFirst(v, visit)
-			return
+	for _, tuples := range [2][][]string{baseTuples, ovTuples} {
+		for _, tup := range tuples {
+			mark := len(en.trail)
+			if matchCompiled(pat, tup, en) {
+				w.join(r, plan, si+1, en, added)
+			}
+			en.undo(mark)
 		}
 	}
-	base.all(visit)
-	ov.all(visit)
 }
 
 // fire instantiates rule r with its temporal variable bound to T, like
 // eval.go's fireRule.
 func (w *parTask) fire(r *crule, T int) int {
-	en := env{time: T, vals: make(map[string]string, 8)}
+	if w.en.vals == nil {
+		w.en.vals = make([]string, w.e.maxSlots)
+	}
+	w.en.time = T
 	added := 0
 	if w.e.prof == nil {
-		w.join(r, 0, -1, &en, &added)
+		w.join(r, &w.e.plans[r.idx], 0, &w.en, &added)
 		return added
 	}
 	start := obs.ClockNS()
-	w.join(r, 0, -1, &en, &added)
+	w.join(r, &w.e.plans[r.idx], 0, &w.en, &added)
 	c := w.res.profBuf(len(w.e.rules)).rec(r).ruleCell(stratumOf(T))
 	c.calls++
 	c.ns += obs.ClockNS() - start
@@ -471,6 +543,7 @@ func (e *Evaluator) ntFixpointParallel(m int) int {
 func (e *Evaluator) ensureWindowParallel(m int) {
 	e.prof.lock()
 	defer e.prof.unlock()
+	e.planJoins()
 	sp := e.tr.Begin("fixpoint")
 	from := e.evaluated
 	f0, d0, s0 := e.stats.Firings, e.stats.Derived, e.stats.Sweeps
@@ -554,22 +627,29 @@ func (w *parTask) fireDeltaFact(f ast.Fact) {
 }
 
 func (w *parTask) fireDelta(r *crule, pin int, f ast.Fact, T int) {
-	en := env{time: T, vals: make(map[string]string, 8)}
+	if w.en.vals == nil {
+		w.en.vals = make([]string, w.e.maxSlots)
+	}
+	w.en.time = T
+	en := &w.en
+	plan := &w.e.deltaPlans[r.idx][pin]
 	added := 0
+	mark := len(en.trail)
 	if w.e.prof == nil {
-		if !w.e.matchArgs(r.body[pin].Args, f.Args, &en) {
-			return
+		if matchCompiled(r.bodyC[pin], f.Args, en) {
+			w.join(r, plan, 0, en, &added)
 		}
-		w.join(r, 0, pin, &en, &added)
+		en.undo(mark)
 		return
 	}
 	start := obs.ClockNS()
 	pc := w.res.profBuf(len(w.e.rules)).rec(r).litCell(pin, stratumOf(T))
 	pc.scanned++
-	if w.e.matchArgs(r.body[pin].Args, f.Args, &en) {
+	if matchCompiled(r.bodyC[pin], f.Args, en) {
 		pc.matched++
-		w.join(r, 0, pin, &en, &added)
+		w.join(r, plan, 0, en, &added)
 	}
+	en.undo(mark)
 	c := w.res.profBuf(len(w.e.rules)).rec(r).ruleCell(stratumOf(T))
 	c.calls++
 	c.ns += obs.ClockNS() - start
@@ -586,6 +666,7 @@ func (e *Evaluator) propagateDeltaParallel(seed []ast.Fact, m int) int {
 	e.ensureOcc()
 	e.prof.lock()
 	defer e.prof.unlock()
+	e.planJoins()
 	sp := e.tr.Begin("delta-propagate")
 	rounds, total := 0, 0
 	delta := seed

@@ -200,7 +200,7 @@ func TestParallelCloneCarriesParallelism(t *testing.T) {
 }
 
 // TestStoreIterationOrderDeterministic is the regression test for the
-// map-order bug: relset iteration (all, withFirst, State, Snapshot) must
+// map-order bug: relset iteration (all, bucket, State, Snapshot) must
 // follow insertion order, including after a copy-on-write materialize,
 // so join enumeration and answer rendering cannot reshuffle between
 // runs.

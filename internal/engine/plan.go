@@ -1,0 +1,279 @@
+package engine
+
+// Join-order planning. Each compiled rule body is evaluated as a chain of
+// streaming index probes: at every position the planner picks the body
+// literal with the smallest estimated enumeration cost given the columns
+// already bound, and the join loop (eval.go, parallel.go, delta.go) then
+// iterates only the matching index bucket instead of the full relation.
+//
+// Determinism contract: a plan is a pure function of the compiled rule,
+// the join mode, and the store's per-predicate cardinality counters
+// (store.card). Plans are recomputed at every fixpoint entry
+// (EnsureWindow, PropagateDelta) — points at which the store content, and
+// hence the counters, are identical across worker counts — so the chosen
+// orders, the derived facts, and every Stats/profile counter downstream
+// are bit-identical for all parallelism levels. The cost model is integer
+// arithmetic only (no floats, no clock, no randomness; see the detfix
+// analyzer, which bans wall-clock reads in this package).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// JoinMode selects the body-evaluation strategy.
+type JoinMode int
+
+const (
+	// JoinIndexed (the default) evaluates rule bodies with planner-ordered
+	// literals and multi-column hash-index probes.
+	JoinIndexed JoinMode = iota
+	// JoinNestedLoop evaluates rule bodies in source order with at most
+	// the first-column index — the engine's historical behavior, kept as
+	// the differential baseline for the indexed engine.
+	JoinNestedLoop
+)
+
+// IndexStat counts join-side relation accesses for one body predicate:
+// Probes are bucket lookups through a bound-column index, Scans are full
+// relation iterations (no column bound). Exposed through Stats.Index.
+type IndexStat struct {
+	Probes int64 `json:"probes"`
+	Scans  int64 `json:"scans"`
+}
+
+// planStep is one position in a join plan: which body literal to match
+// next, which of its columns are bound by then (the index mask), and the
+// counter to bump per relation access.
+type planStep struct {
+	lit  int
+	mask uint32
+	sid  int    // global step id (parallel tasks count per-sid, merged later)
+	ctr  *int64 // sequential fast path: &IndexStat.Probes or &IndexStat.Scans
+}
+
+// joinPlan is the ordered body of one rule (delta plans omit the pinned
+// literal, which is bound before the join starts).
+type joinPlan struct {
+	steps []planStep
+}
+
+// planJoins (re)computes every rule's join plan and delta plans from the
+// current cardinality counters. Called at each fixpoint entry; see the
+// determinism contract above. It also (re)binds the plan counters into
+// this evaluator's own Stats.Index, so a cloned evaluator re-plans into
+// its own counters rather than its parent's.
+func (e *Evaluator) planJoins() {
+	if e.stats.Index == nil {
+		e.stats.Index = make(map[string]*IndexStat)
+	}
+	if len(e.en.vals) < e.maxSlots {
+		e.en.vals = make([]string, e.maxSlots)
+	}
+	e.stepPreds = e.stepPreds[:0]
+	e.stepIndexed = e.stepIndexed[:0]
+	e.plans = make([]joinPlan, len(e.rules))
+	e.deltaPlans = make([][]joinPlan, len(e.rules))
+	for i := range e.rules {
+		r := &e.rules[i]
+		e.plans[i] = e.planRule(r, -1)
+		dp := make([]joinPlan, len(r.body))
+		for pin := range r.body {
+			dp[pin] = e.planRule(r, pin)
+		}
+		e.deltaPlans[i] = dp
+	}
+}
+
+// planRule orders the body of r (with literal pin pre-bound; -1 for
+// none). JoinNestedLoop keeps source order and first-column masks — the
+// historical engine exactly; JoinIndexed greedily picks the cheapest
+// remaining literal under the cost estimate, ties resolved to the
+// earliest source position.
+func (e *Evaluator) planRule(r *crule, pin int) joinPlan {
+	bound := make([]bool, r.nslots)
+	if pin >= 0 {
+		for _, c := range r.bodyC[pin] {
+			if c.slot >= 0 {
+				bound[c.slot] = true
+			}
+		}
+	}
+	remaining := make([]int, 0, len(r.body))
+	for li := range r.body {
+		if li != pin {
+			remaining = append(remaining, li)
+		}
+	}
+	plan := joinPlan{steps: make([]planStep, 0, len(remaining))}
+	for len(remaining) > 0 {
+		pick := 0
+		if e.mode == JoinIndexed {
+			best := uint64(0)
+			for k, li := range remaining {
+				cost := e.estCost(r, li, bound)
+				if k == 0 || cost < best {
+					best, pick = cost, k
+				}
+			}
+		}
+		li := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		var mask uint32
+		if e.mode == JoinNestedLoop {
+			mask = firstColMask(r.bodyC[li], bound)
+		} else {
+			mask, _ = boundMask(r.bodyC[li], bound)
+		}
+		plan.steps = append(plan.steps, e.newStep(r.body[li].Pred, li, mask))
+		for _, c := range r.bodyC[li] {
+			if c.slot >= 0 {
+				bound[c.slot] = true
+			}
+		}
+	}
+	return plan
+}
+
+// newStep registers a plan step: allocates the predicate's Stats.Index
+// cell if needed and assigns the global step id the parallel merge uses.
+func (e *Evaluator) newStep(pred string, lit int, mask uint32) planStep {
+	st := e.stats.Index[pred]
+	if st == nil {
+		st = &IndexStat{}
+		e.stats.Index[pred] = st
+	}
+	ctr := &st.Scans
+	if mask != 0 {
+		ctr = &st.Probes
+	}
+	sid := len(e.stepPreds)
+	e.stepPreds = append(e.stepPreds, pred)
+	e.stepIndexed = append(e.stepIndexed, mask != 0)
+	return planStep{lit: lit, mask: mask, sid: sid, ctr: ctr}
+}
+
+// boundMask returns the mask of columns determined under the bound set
+// (constants and already-bound variables) and how many they are. Columns
+// beyond 32 are never masked (they are matched by the scan filter).
+func boundMask(pat []carg, bound []bool) (mask uint32, n int) {
+	for i, c := range pat {
+		if i >= 32 {
+			break
+		}
+		if c.slot < 0 || bound[c.slot] {
+			mask |= 1 << uint(i)
+			n++
+		}
+	}
+	return mask, n
+}
+
+// firstColMask reproduces the historical engine's index use: the first
+// column only, and only when it is a constant or already bound.
+func firstColMask(pat []carg, bound []bool) uint32 {
+	if len(pat) == 0 {
+		return 0
+	}
+	if c := pat[0]; c.slot < 0 || bound[c.slot] {
+		return 1
+	}
+	return 0
+}
+
+// estCost estimates how many tuples matching literal li the join loop
+// will enumerate, given the bound set. The base is the store's live
+// cardinality: total facts for a non-temporal predicate, average facts
+// per occupied time point for a temporal one (the per-predicate tables
+// the profiler also reports, maintained incrementally by the store). Each
+// bound column shrinks the estimate by the base's bit-length scaled to
+// the fraction of columns bound — a selectivity proxy that needs no value
+// statistics and no floating point: a fully bound literal costs 0 (a
+// membership probe), an unbound one costs the full base.
+func (e *Evaluator) estCost(r *crule, li int, bound []bool) uint64 {
+	a := &r.body[li]
+	facts, states := e.store.card(a.Pred)
+	base := facts
+	if a.Time != nil && states > 0 {
+		base = (facts + states - 1) / states
+	}
+	if base <= 0 {
+		// An empty relation of a derived predicate is not cheap: the plan
+		// persists for the whole fixpoint entry, during which the
+		// relation can grow to the order of the database (typical at the
+		// first entry, before anything is derived). Assume
+		// database-sized rather than free; a truly empty EDB relation
+		// still costs 0 (scanning it first aborts the join immediately).
+		if !e.derived[a.Pred] {
+			return 0
+		}
+		base = e.store.count
+		if base <= 0 {
+			return 0
+		}
+	}
+	arity := len(a.Args)
+	if arity == 0 {
+		return 1
+	}
+	_, nb := boundMask(r.bodyC[li], bound)
+	if nb >= arity {
+		return 0
+	}
+	shift := bits.Len(uint(base)) * nb / arity
+	cost := uint64(base) >> uint(shift)
+	if cost == 0 {
+		cost = 1
+	}
+	return cost
+}
+
+// PlanFingerprint recomputes the join plans from the current cardinality
+// counters and returns a digest of every choice the planner made: per
+// rule, the literal order and index masks of the main plan and of each
+// delta plan. Two evaluators over the same program and store content —
+// regardless of worker count, clone lineage, or repetition — produce the
+// same fingerprint; tests pin this (plans are a pure function of rule +
+// cardinality snapshot).
+func (e *Evaluator) PlanFingerprint() string {
+	e.planJoins()
+	var b strings.Builder
+	writePlan := func(p *joinPlan) {
+		for si := range p.steps {
+			st := &p.steps[si]
+			fmt.Fprintf(&b, " %d/%x", st.lit, st.mask)
+		}
+	}
+	for i := range e.rules {
+		fmt.Fprintf(&b, "rule %d:", i)
+		writePlan(&e.plans[i])
+		for pin := range e.deltaPlans[i] {
+			fmt.Fprintf(&b, " |pin %d:", pin)
+			writePlan(&e.deltaPlans[i][pin])
+		}
+		b.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// PlanText renders the current plans in readable form (for tests and
+// debugging): one line per rule, literals in execution order with their
+// index masks.
+func (e *Evaluator) PlanText() string {
+	e.planJoins()
+	var lines []string
+	for i := range e.rules {
+		var parts []string
+		for _, st := range e.plans[i].steps {
+			parts = append(parts, fmt.Sprintf("%s[%d mask=%x]", e.rules[i].body[st.lit].Pred, st.lit, st.mask))
+		}
+		lines = append(lines, fmt.Sprintf("%s :: %s", e.rules[i].src.String(), strings.Join(parts, " ⋈ ")))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

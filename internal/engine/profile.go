@@ -349,20 +349,23 @@ func (e *Evaluator) ProfileSnapshot() *ProfileJSON {
 	return out
 }
 
-// cardinalities builds the per-predicate cardinality tables from the
-// store, sorted by predicate name for deterministic output.
+// cardinalities builds the per-predicate cardinality tables, sorted by
+// predicate name for deterministic output. Facts and States come from
+// the store's incrementally maintained counters — the exact snapshot
+// the join-order planner reads (plan.go) — so the profile reports the
+// planner's own cost-model inputs; only the per-stratum distribution
+// still walks the time shards.
 func (e *Evaluator) cardinalities() []PredCardJSON {
 	var out []PredCardJSON
 	for pred, states := range e.store.temporal {
-		pc := PredCardJSON{Pred: pred, Temporal: true}
+		facts, nstates := e.store.card(pred)
+		pc := PredCardJSON{Pred: pred, Temporal: true, Facts: int64(facts), States: nstates}
 		var strata []CardStratumJSON
 		for t, rs := range states {
 			n := rs.size()
 			if n == 0 {
 				continue
 			}
-			pc.Facts += int64(n)
-			pc.States++
 			if t > pc.MaxT {
 				pc.MaxT = t
 			}
@@ -380,8 +383,9 @@ func (e *Evaluator) cardinalities() []PredCardJSON {
 		}
 		out = append(out, pc)
 	}
-	for pred, rs := range e.store.nonTemporal {
-		out = append(out, PredCardJSON{Pred: pred, Facts: int64(rs.size())})
+	for pred := range e.store.nonTemporal {
+		facts, _ := e.store.card(pred)
+		out = append(out, PredCardJSON{Pred: pred, Facts: int64(facts)})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Pred < out[j].Pred })
 	return out

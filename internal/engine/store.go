@@ -17,22 +17,93 @@ import (
 	"hash/fnv"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"tdd/internal/ast"
 )
 
 // tupleKey builds a canonical map key for a tuple. \x00 cannot occur in
-// parsed constants.
+// parsed constants, and the engine rejects empty constants on ingestion
+// (InsertBase), so keys are unambiguous.
 func tupleKey(args []string) string { return strings.Join(args, "\x00") }
 
-// relset is a set of tuples with a first-column index for joins. It is
-// one shard of the store (one predicate at one time point, or one
-// non-temporal predicate), the unit of copy-on-write sharing between
-// store clones.
+// appendTupleKey is tupleKey into a reusable buffer: membership probes on
+// the hot join/emit path look up r.m[string(buf)], which the compiler
+// performs without allocating.
+func appendTupleKey(dst []byte, args []string) []byte {
+	for i, a := range args {
+		if i > 0 {
+			dst = append(dst, 0)
+		}
+		dst = append(dst, a...)
+	}
+	return dst
+}
+
+// appendMaskKey builds the bound-column index key of a tuple: the values
+// of the masked columns, in ascending position order, each terminated by
+// \x00 (a terminator rather than a separator, so ("a","") and ("","a")
+// masks cannot collide).
+func appendMaskKey(dst []byte, mask uint32, tup []string) []byte {
+	for i := 0; i < len(tup); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			dst = append(dst, tup[i]...)
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// idxEntry is one bound-column hash index over a relation: the tuples
+// grouped by the values of the masked argument positions, each group in
+// insertion order.
+type idxEntry struct {
+	mask    uint32
+	buckets map[string][][]string
+}
+
+// idxTable is the set of indexes built so far for one relset. The table
+// value is immutable — building an index for a new mask installs a new
+// table via compare-and-swap — while the bucket maps inside it are
+// mutated in place by insert, which only runs in single-writer phases
+// (the sequential engine, the parallel schedule's merge phase, and the
+// overlay of one task). Concurrent read-side builds during a parallel
+// round race only on the CAS: both builders derive the same index from
+// the same frozen tuple list, so the loser's work is discarded without
+// any effect on results.
+type idxTable struct {
+	entries []idxEntry
+}
+
+// withMask returns a new table extending t (nil allowed) with an index
+// for mask, built from the given tuple list in insertion order.
+func (t *idxTable) withMask(mask uint32, list [][]string) *idxTable {
+	n := &idxTable{}
+	if t != nil {
+		n.entries = append(n.entries, t.entries...)
+	}
+	buckets := make(map[string][][]string)
+	var kb []byte
+	for _, tup := range list {
+		kb = appendMaskKey(kb[:0], mask, tup)
+		k := string(kb)
+		buckets[k] = append(buckets[k], tup)
+	}
+	n.entries = append(n.entries, idxEntry{mask: mask, buckets: buckets})
+	return n
+}
+
+// relset is a set of tuples with lazily built bound-column hash indexes
+// for joins. It is one shard of the store (one predicate at one time
+// point, or one non-temporal predicate), the unit of copy-on-write
+// sharing between store clones.
 type relset struct {
-	m       map[string]struct{}   // membership by tuple key
-	list    [][]string            // tuples in insertion order (see all)
-	byFirst map[string][][]string // first column -> tuples (arity >= 1 only)
+	m    map[string]struct{} // membership by tuple key
+	list [][]string          // tuples in insertion order (see all)
+	// idx holds the bound-column indexes built so far; see idxTable for
+	// the concurrency discipline. Indexes are dropped (not copied) when a
+	// shared shard is materialized for writing and rebuilt on demand.
+	idx atomic.Pointer[idxTable]
 	// shared marks a shard referenced by more than one store (set by
 	// Store.Clone). A shared shard is immutable: writers materialize a
 	// private copy first. The flag is written only while clones are
@@ -46,7 +117,9 @@ func newRelset() *relset {
 }
 
 // insert adds the tuple, reporting whether it was new. The caller must
-// hold a private (non-shared) shard; see Store.Insert.
+// hold a private (non-shared) shard; see Store.Insert. Every index built
+// so far is maintained, so a lookup after an insert sees the new tuple
+// exactly when a linear scan would.
 func (r *relset) insert(args []string) bool {
 	k := tupleKey(args)
 	if _, ok := r.m[k]; ok {
@@ -55,11 +128,13 @@ func (r *relset) insert(args []string) bool {
 	stored := append([]string(nil), args...)
 	r.m[k] = struct{}{}
 	r.list = append(r.list, stored)
-	if len(stored) > 0 {
-		if r.byFirst == nil {
-			r.byFirst = make(map[string][][]string)
+	if tbl := r.idx.Load(); tbl != nil {
+		var kb []byte
+		for i := range tbl.entries {
+			kb = appendMaskKey(kb[:0], tbl.entries[i].mask, stored)
+			bk := string(kb)
+			tbl.entries[i].buckets[bk] = append(tbl.entries[i].buckets[bk], stored)
 		}
-		r.byFirst[stored[0]] = append(r.byFirst[stored[0]], stored)
 	}
 	return true
 }
@@ -72,11 +147,45 @@ func (r *relset) has(args []string) bool {
 	return ok
 }
 
+// hasKey is has with a caller-built tupleKey buffer; the membership probe
+// does not allocate.
+func (r *relset) hasKey(key []byte) bool {
+	if r == nil {
+		return false
+	}
+	_, ok := r.m[string(key)]
+	return ok
+}
+
 func (r *relset) size() int {
 	if r == nil {
 		return 0
 	}
 	return len(r.m)
+}
+
+// bucket returns the tuples whose masked columns equal key, in insertion
+// order, building the mask's index on first use. A nil receiver and an
+// empty bucket both return nil. Safe for concurrent readers: the build
+// installs an immutable table via CAS and retries on contention.
+func (r *relset) bucket(mask uint32, key []byte) [][]string {
+	if r == nil {
+		return nil
+	}
+	for {
+		tbl := r.idx.Load()
+		if tbl != nil {
+			for i := range tbl.entries {
+				if tbl.entries[i].mask == mask {
+					return tbl.entries[i].buckets[string(key)]
+				}
+			}
+		}
+		// Not built yet: derive a new table from the current tuple list.
+		// On CAS failure another goroutine installed a table first — loop
+		// and look again (it may even have built this very mask).
+		r.idx.CompareAndSwap(tbl, tbl.withMask(mask, r.list))
+	}
 }
 
 // all iterates every tuple in insertion order. Iterating the list rather
@@ -94,21 +203,19 @@ func (r *relset) all(f func([]string) bool) {
 	}
 }
 
-// withFirst iterates tuples whose first column equals v, in insertion
-// order.
-func (r *relset) withFirst(v string, f func([]string) bool) {
-	if r == nil || r.byFirst == nil {
-		return
+// tuples returns the full tuple list in insertion order (nil-safe); the
+// join loops iterate it directly instead of through a callback.
+func (r *relset) tuples() [][]string {
+	if r == nil {
+		return nil
 	}
-	for _, tup := range r.byFirst[v] {
-		if !f(tup) {
-			return
-		}
-	}
+	return r.list
 }
 
 // materialize deep-copies a shared shard so the caller can write to it.
-// Tuples are immutable after insert and stay shared.
+// Tuples are immutable after insert and stay shared. Indexes are not
+// copied: the private copy rebuilds them lazily on first lookup, so a
+// clone that never joins against the shard never pays for them.
 func (r *relset) materialize() *relset {
 	c := &relset{
 		m:    make(map[string]struct{}, len(r.m)),
@@ -117,13 +224,18 @@ func (r *relset) materialize() *relset {
 	for k := range r.m {
 		c.m[k] = struct{}{}
 	}
-	if r.byFirst != nil {
-		c.byFirst = make(map[string][][]string, len(r.byFirst))
-		for k, v := range r.byFirst {
-			c.byFirst[k] = append(make([][]string, 0, len(v)), v...)
-		}
-	}
 	return c
+}
+
+// predCard is the store-maintained cardinality summary of one predicate:
+// total facts and, for temporal predicates, the number of occupied time
+// points. Maintained in O(1) per insert, it is the cost-model seed the
+// join-order planner reads (see plan.go) and the totals behind the
+// profiler's per-predicate cardinality tables.
+type predCard struct {
+	temporal bool
+	facts    int
+	states   int
 }
 
 // Store holds the facts derived so far: temporal relations indexed by
@@ -132,6 +244,8 @@ type Store struct {
 	temporal    map[string]map[int]*relset
 	nonTemporal map[string]*relset
 	count       int
+	// cards holds the per-predicate cardinality counters (see predCard).
+	cards map[string]*predCard
 	// keys caches StateKey per time point; an insert at time t drops the
 	// entry for t. Incremental maintenance re-certifies the period after a
 	// delta, and the cache confines the rehash to the states the delta
@@ -144,6 +258,7 @@ func NewStore() *Store {
 	return &Store{
 		temporal:    make(map[string]map[int]*relset),
 		nonTemporal: make(map[string]*relset),
+		cards:       make(map[string]*predCard),
 	}
 }
 
@@ -161,6 +276,7 @@ func (s *Store) Clone() *Store {
 		temporal:    make(map[string]map[int]*relset, len(s.temporal)),
 		nonTemporal: make(map[string]*relset, len(s.nonTemporal)),
 		count:       s.count,
+		cards:       make(map[string]*predCard, len(s.cards)),
 	}
 	for pred, byTime := range s.temporal {
 		bt := make(map[int]*relset, len(byTime))
@@ -173,6 +289,10 @@ func (s *Store) Clone() *Store {
 	for pred, rs := range s.nonTemporal {
 		rs.shared = true
 		c.nonTemporal[pred] = rs
+	}
+	for pred, pc := range s.cards {
+		cp := *pc
+		c.cards[pred] = &cp
 	}
 	if s.keys != nil {
 		c.keys = make(map[int]string, len(s.keys))
@@ -199,6 +319,7 @@ func (s *Store) Insert(f ast.Fact) bool {
 		case !ok:
 			rs = newRelset()
 			byTime[f.Time] = rs
+			s.cardFor(f.Pred, true).states++
 		case rs.shared:
 			if rs.has(f.Args) {
 				return false
@@ -227,8 +348,29 @@ func (s *Store) Insert(f ast.Fact) bool {
 	}
 	if added {
 		s.count++
+		s.cardFor(f.Pred, f.Temporal).facts++
 	}
 	return added
+}
+
+// cardFor returns (allocating on first touch) the predicate's counter.
+func (s *Store) cardFor(pred string, temporal bool) *predCard {
+	pc := s.cards[pred]
+	if pc == nil {
+		pc = &predCard{temporal: temporal}
+		s.cards[pred] = pc
+	}
+	return pc
+}
+
+// card returns the predicate's incremental cardinality summary: total
+// facts and, for temporal predicates, occupied time points. Zero values
+// for unknown predicates.
+func (s *Store) card(pred string) (facts, states int) {
+	if pc := s.cards[pred]; pc != nil {
+		return pc.facts, pc.states
+	}
+	return 0, 0
 }
 
 // Has reports whether the fact is present.

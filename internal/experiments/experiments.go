@@ -86,6 +86,7 @@ var All = map[string]Runner{
 	"E9":  E9,
 	"E10": E10,
 	"E13": E13,
+	"E18": E18,
 }
 
 // IDs returns the experiment ids in numeric order (E1, E2, ..., E13).

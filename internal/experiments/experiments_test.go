@@ -117,3 +117,24 @@ func TestTableRendering(t *testing.T) {
 		}
 	}
 }
+
+// E18's quick instances are small, but the planner's advantage must
+// already show: the indexed engine should never lose to the nested-loop
+// baseline on the order-scrambled workloads (the full >=10x large-database
+// bound is recorded by scripts/bench_eval.sh, not asserted at test scale).
+func TestE18IndexedBeatsNestedLoop(t *testing.T) {
+	tab, err := E18(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		sp := strings.TrimSuffix(row[len(row)-1], "x")
+		v, err := strconv.ParseFloat(sp, 64)
+		if err != nil {
+			t.Fatalf("unparseable speedup %q in row %v", sp, row)
+		}
+		if v <= 1 {
+			t.Errorf("%s: indexed engine slower than nested loop (%sx)", row[0], sp)
+		}
+	}
+}

@@ -306,3 +306,34 @@ func TestRunFilesSkipsTestFiles(t *testing.T) {
 		t.Fatalf("test file analyzed: %v", diags)
 	}
 }
+
+// The join-order planner (engine/plan.go) must be a pure function of the
+// compiled rules and the store's cardinality counters: a planner that
+// consulted the wall clock (say, to time candidate orders) would pick
+// different plans run to run and break the PlanFingerprint determinism
+// contract. detfix covers it because it lives in internal/engine.
+func TestDetFixBansWallClockInJoinPlanner(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/engine", `package engine
+import "time"
+type planStepX struct{ lit int }
+func planRuleX(costs []int) []planStepX {
+	deadline := time.Now().Add(time.Millisecond)
+	var out []planStepX
+	for i := range costs {
+		if time.Now().After(deadline) {
+			break
+		}
+		out = append(out, planStepX{lit: i})
+	}
+	return out
+}
+`)
+	if len(diags) < 2 {
+		t.Fatalf("diagnostics = %v, want import + time.Now findings in planner code", diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "detfix" {
+			t.Errorf("unexpected analyzer %q", d.Analyzer)
+		}
+	}
+}

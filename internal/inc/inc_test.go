@@ -164,3 +164,74 @@ func TestApplyRejectsBadSignature(t *testing.T) {
 		t.Fatal("non-temporal use of temporal predicate accepted")
 	}
 }
+
+// TestApplyAgreesAcrossJoinModes: incremental maintenance through the
+// indexed join plans (sequential and parallel) certifies exactly the
+// specification the nested-loop engine does, batch for batch.
+func TestApplyAgreesAcrossJoinModes(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randgen.New(rng, randgen.Default())
+		prog, err := g.Program(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := g.Database(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts := append([]ast.Fact(nil), full.Facts...)
+		k := len(facts) / 2
+		initial, err := ast.NewDatabase(append([]ast.Fact(nil), facts[:k]...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		type lane struct {
+			e  *engine.Evaluator
+			sp *spec.Spec
+		}
+		mk := func(mode engine.JoinMode, par int) *lane {
+			e, err := engine.New(prog, initial.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetJoinMode(mode)
+			e.SetParallelism(par)
+			sp, err := spec.Compute(e, testMaxWindow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &lane{e: e, sp: sp}
+		}
+		lanes := []*lane{
+			mk(engine.JoinNestedLoop, 0),
+			mk(engine.JoinIndexed, 0),
+			mk(engine.JoinIndexed, 4),
+		}
+		for batch := facts[k:]; len(batch) > 0; {
+			n := 1 + len(batch)/3
+			if n > len(batch) {
+				n = len(batch)
+			}
+			for _, l := range lanes {
+				l.sp, _, err = Apply(l.e, l.sp, testMaxWindow, batch[:n])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			batch = batch[n:]
+		}
+		ref := lanes[0]
+		for i, l := range lanes[1:] {
+			if l.sp.Period != ref.sp.Period {
+				t.Fatalf("seed %d lane %d: period %v, nested-loop %v", seed, i+1, l.sp.Period, ref.sp.Period)
+			}
+			if got, want := renderFacts(l.sp.PrimaryDatabase()), renderFacts(ref.sp.PrimaryDatabase()); got != want {
+				t.Fatalf("seed %d lane %d: primary database diverged\n%s\nvs\n%s", seed, i+1, got, want)
+			}
+			if l.e.Store().Len() != ref.e.Store().Len() {
+				t.Fatalf("seed %d lane %d: store %d facts, nested-loop %d", seed, i+1, l.e.Store().Len(), ref.e.Store().Len())
+			}
+		}
+	}
+}

@@ -6,8 +6,11 @@ package randgen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 
+	"tdd"
 	"tdd/internal/ast"
 	"tdd/internal/baseline"
 	"tdd/internal/engine"
@@ -17,6 +20,25 @@ import (
 )
 
 const trials = 60
+
+// statsFingerprint renders an engine.Stats snapshot canonically: every
+// counter, map keys sorted, Index cells dereferenced (a plain %+v would
+// print the cell pointers). Two runs with bit-identical counters — the
+// determinism contract of the parallel schedule — produce equal strings.
+func statsFingerprint(s engine.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "derived=%d firings=%d sweeps=%d rules=%+v sweepSizes=%v storeGrowth=%v deltaByTime=%v",
+		s.Derived, s.Firings, s.Sweeps, s.Rules, s.SweepSizes, s.StoreGrowth, s.DeltaByTime)
+	keys := make([]string, 0, len(s.Index))
+	for k := range s.Index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " idx[%s]=%+v", k, *s.Index[k])
+	}
+	return b.String()
+}
 
 func generate(t *testing.T, seed int64) (*ast.Program, *ast.Database) {
 	t.Helper()
@@ -167,11 +189,117 @@ func TestParallelMatchesSequentialOnRandomPrograms(t *testing.T) {
 					t.Fatalf("seed %d par %d: missing non-temporal fact %v", seed, par, f)
 				}
 			}
-			fp := fmt.Sprintf("%+v", e.Stats())
+			fp := statsFingerprint(e.Stats())
 			if statsFP == "" {
 				statsFP = fp
 			} else if fp != statsFP {
 				t.Fatalf("seed %d: Stats depend on worker count\npar=1: %s\npar=%d: %s", seed, statsFP, par, fp)
+			}
+		}
+	}
+}
+
+// Property (four-way differential battery): on every random program, four
+// independently built evaluation pipelines agree — the naive T_P oracle,
+// the sequential nested-loop engine (the historical join strategy), the
+// sequential indexed engine (planned join orders + hash-index probes),
+// and the indexed parallel schedule at worker counts 1, 2, and 8. All
+// compare equal on answers (every state of the window), on the certified
+// period, and on the model fingerprint; the schedule-invariant Stats
+// (Derived, Sweeps, SweepSizes, StoreGrowth) are bit-identical between
+// the two sequential engines, and the full Stats — Index counters
+// included — are bit-identical across the parallel worker counts.
+func TestFourWayDifferentialBattery(t *testing.T) {
+	const m = 12
+	type run struct {
+		name string
+		e    *engine.Evaluator
+	}
+	for seed := int64(0); seed < trials; seed++ {
+		prog, db := generate(t, seed)
+		naive, _, err := baseline.NaiveTP(prog, db, m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		mk := func(mode engine.JoinMode, par int) *engine.Evaluator {
+			e, err := engine.New(prog.Clone(), db)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			e.SetJoinMode(mode)
+			e.SetParallelism(par)
+			e.EnsureWindow(m)
+			return e
+		}
+		runs := []run{
+			{"nested-loop", mk(engine.JoinNestedLoop, 0)},
+			{"indexed", mk(engine.JoinIndexed, 0)},
+			{"indexed-par1", mk(engine.JoinIndexed, 1)},
+			{"indexed-par2", mk(engine.JoinIndexed, 2)},
+			{"indexed-par8", mk(engine.JoinIndexed, 8)},
+		}
+		// Answers: every engine's every state equals the oracle's.
+		for _, r := range runs {
+			for tm := 0; tm <= m; tm++ {
+				if r.e.Store().StateKey(tm) != naive.StateKey(tm) {
+					t.Fatalf("seed %d: %s differs from naive T_P at t=%d\nprogram:\n%sdb:\n%s%s: %v\nnaive: %v",
+						seed, r.name, tm, prog, db, r.name, r.e.Store().State(tm), naive.State(tm))
+				}
+			}
+			if got, want := r.e.Store().NonTemporalCount(), runs[0].e.Store().NonTemporalCount(); got != want {
+				t.Fatalf("seed %d: %s has %d non-temporal facts, nested-loop has %d", seed, r.name, got, want)
+			}
+		}
+		// Schedule-invariant Stats: identical across ALL engines (total
+		// derived facts), and between the two sequential engines also the
+		// sweep structure — join order changes which binding fires first
+		// within a state, never what a closed state contains.
+		nested, indexed := runs[0].e.Stats(), runs[1].e.Stats()
+		for _, r := range runs[1:] {
+			if d := r.e.Stats().Derived; d != nested.Derived {
+				t.Fatalf("seed %d: %s derived %d facts, nested-loop %d", seed, r.name, d, nested.Derived)
+			}
+		}
+		if nested.Sweeps != indexed.Sweeps ||
+			fmt.Sprintf("%v%v%v", nested.SweepSizes, nested.StoreGrowth, nested.DeltaByTime) !=
+				fmt.Sprintf("%v%v%v", indexed.SweepSizes, indexed.StoreGrowth, indexed.DeltaByTime) {
+			t.Fatalf("seed %d: sweep structure differs between join modes\nnested:  %s\nindexed: %s",
+				seed, statsFingerprint(nested), statsFingerprint(indexed))
+		}
+		// Full Stats across worker counts, Index counters included.
+		parFP := statsFingerprint(runs[2].e.Stats())
+		for _, r := range runs[3:] {
+			if fp := statsFingerprint(r.e.Stats()); fp != parFP {
+				t.Fatalf("seed %d: Stats depend on worker count\npar=1: %s\n%s: %s", seed, parFP, r.name, fp)
+			}
+		}
+		// Period and model fingerprint through the public facade. The
+		// fingerprint commits to the certified period and every state of
+		// base+period, so equality here is equality of the whole infinite
+		// model. Skipped when the period is not certifiable in budget.
+		ref, err := tdd.Open(prog.String(), db.String(), tdd.WithMaxWindow(1<<14))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		refFP, err := ref.ModelFingerprint()
+		if err != nil {
+			continue
+		}
+		for _, opts := range [][]tdd.Option{
+			{tdd.WithMaxWindow(1 << 14), tdd.WithNestedLoopJoin()},
+			{tdd.WithMaxWindow(1 << 14), tdd.WithParallelism(2)},
+			{tdd.WithMaxWindow(1 << 14), tdd.WithParallelism(8)},
+		} {
+			d, err := tdd.Open(prog.String(), db.String(), opts...)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			fp, err := d.ModelFingerprint()
+			if err != nil {
+				t.Fatalf("seed %d: fingerprint failed where reference succeeded: %v", seed, err)
+			}
+			if fp != refFP {
+				t.Fatalf("seed %d: model fingerprint %s != reference %s\nprogram:\n%sdb:\n%s", seed, fp, refFP, prog, db)
 			}
 		}
 	}

@@ -26,7 +26,14 @@ type SkiParams struct {
 	Resorts  int // number of resort constants
 	Planes   int // number of seed flights, spread over resorts and days
 	Holidays int // number of holiday days per year
-	Seed     int64
+	// ResortFirst emits the plane-rule bodies in generate-then-filter
+	// order — resort(X), offseason(T), plane(T, X) — instead of the
+	// hand-optimized plane-first order. The model is identical; a
+	// source-order evaluator now enumerates every resort per rule per
+	// sweep, while a join-order planner recovers the plane-first plan
+	// from cardinalities. The benchmark knob for order sensitivity.
+	ResortFirst bool
+	Seed        int64
 }
 
 // Ski generates the scaled travel-agent TDD. Winter occupies the first 40%
@@ -42,10 +49,18 @@ func Ski(p SkiParams) (rules, facts string) {
 	if p.Planes < 1 {
 		p.Planes = 1
 	}
-	rules = fmt.Sprintf(`plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+	if p.ResortFirst {
+		rules = `plane(T+7, X) :- resort(X), offseason(T), plane(T, X).
+plane(T+2, X) :- resort(X), winter(T), plane(T, X).
+plane(T+1, X) :- resort(X), holiday(T), plane(T, X).
+`
+	} else {
+		rules = `plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
 plane(T+2, X) :- plane(T, X), resort(X), winter(T).
 plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
-offseason(T+%d) :- offseason(T).
+`
+	}
+	rules += fmt.Sprintf(`offseason(T+%d) :- offseason(T).
 winter(T+%d) :- winter(T).
 holiday(T+%d) :- holiday(T).
 `, p.YearLen, p.YearLen, p.YearLen)
@@ -76,16 +91,31 @@ holiday(T+%d) :- holiday(T).
 type ReachParams struct {
 	Nodes int
 	Edges int
-	Seed  int64
+	// PathFirst emits the recursive body as path(K, Y, Z), edge(X, Y):
+	// same model, but a source-order evaluator scans every path tuple and
+	// then — with edge's first column X still unbound — every edge per
+	// tuple, an O(|path| · |edge|) cross-product per state. A planner
+	// restores edge-first from cardinalities; a second-column index makes
+	// even the path-first order stream. The benchmark knob for order
+	// sensitivity.
+	PathFirst bool
+	Seed      int64
 }
 
 // Reachability generates the bounded-path TDD of Section 2 over a seeded
 // random directed graph.
 func Reachability(p ReachParams) (rules, facts string) {
-	rules = `path(K, X, X) :- node(X), null(K).
+	if p.PathFirst {
+		rules = `path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- path(K, Y, Z), edge(X, Y).
+path(K+1, X, Y) :- path(K, X, Y).
+`
+	} else {
+		rules = `path(K, X, X) :- node(X), null(K).
 path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
 path(K+1, X, Y) :- path(K, X, Y).
 `
+	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	var b strings.Builder
 	b.WriteString("null(0).\n")

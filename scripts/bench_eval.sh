@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_eval.sh — the evaluation-core benchmark behind BENCH_eval.json.
+#
+# Runs the E18 instances (order-scrambled E1 ski / E8 reachability
+# families) in both join modes via cmd/tddevalbench: the small instances
+# min-of-3, the *_large instances once (their nested-loop baselines take
+# ~40s-3min each — the whole point: the indexed engine evaluates the same
+# windows in seconds). The committed BENCH_eval.json records the >=10x
+# large-database speedups the indexed join engine is accepted on; the
+# cheap per-PR regression check is the BenchmarkIndexedJoin ratio gate in
+# scripts/ci.sh, not this script.
+#
+# Usage: scripts/bench_eval.sh [out.json]
+#   scripts/bench_eval.sh -skip-large   # small instances only (~5s)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_eval.json
+EXTRA=""
+for a in "$@"; do
+    case "$a" in
+    -*) EXTRA="$EXTRA $a" ;;
+    *) OUT=$a ;;
+    esac
+done
+
+# shellcheck disable=SC2086
+go run ./cmd/tddevalbench -out "$OUT" $EXTRA

@@ -76,6 +76,39 @@ go test -run '^$' -bench '^BenchmarkProfileOverhead$' -benchtime 25x -count 3 . 
             if (ratio > 1.05) { print "profiler gate: enabled overhead exceeds 5%"; exit 1 }
         }'
 
+echo "==> indexed-join gate (indexed <= 0.5x nested per family, min of 3)"
+# The PR-9 acceptance bound: on the order-scrambled E1/E8 benchmark
+# instances the indexed engine (cardinality-ordered plans + multi-column
+# hash indexes) must stay at least 2x faster than the nested-loop
+# baseline — the committed BENCH_eval.json records ~5-15x here, so a
+# ratio above 0.5 means the planner or the indexes regressed. Min of
+# three runs per sub-benchmark, same noise rationale as the profiler
+# gate above.
+go test -run '^$' -bench '^BenchmarkIndexedJoin$' -benchtime 1x -count 3 ./internal/engine/ \
+    | awk '
+        $1 ~ /^BenchmarkIndexedJoin\// {
+            n = split($1, p, "/")
+            if (n < 3) next
+            fam = p[2]; mode = p[3]
+            sub(/-[0-9]+$/, "", mode)   # strip the -GOMAXPROCS suffix
+            key = fam SUBSEP mode
+            if (!(key in best) || $3 < best[key]) best[key] = $3
+            fams[fam] = 1
+        }
+        END {
+            nfam = 0; bad = 0
+            for (f in fams) {
+                nfam++
+                i = best[f, "indexed"]; n = best[f, "nested"]
+                if (!i || !n) { printf "indexed-join gate: %s missing samples\n", f; exit 1 }
+                ratio = i / n
+                printf "indexed-join %s: indexed %d ns/op, nested %d ns/op, ratio %.3f\n", f, i, n, ratio
+                if (ratio > 0.5) { printf "indexed-join gate: %s ratio exceeds 0.5\n", f; bad = 1 }
+            }
+            if (nfam == 0) { print "indexed-join gate: benchmark produced no samples"; exit 1 }
+            if (bad) exit 1
+        }'
+
 echo "==> serving contention battery under GOMAXPROCS=4 -race"
 # The singleflight, shard gates, and writer-lock refcounting only see
 # real interleavings when the runtime can run handlers concurrently;
