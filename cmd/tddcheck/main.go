@@ -6,16 +6,24 @@
 //
 // Usage:
 //
-//	tddcheck [-iperiod] [-atoms n] rules.tdd
+//	tddcheck [-iperiod] rules.tdd
+//	tddcheck graph [-json] [-q query] unit.tdd
 //
 // Ground facts in the file are ignored for classification (the classes are
 // properties of rule sets alone), but not by the trailing lint section,
 // which runs the Tier-A static analyzer (see internal/lint and the tddlint
 // command) over the whole unit — rules and facts — and prints its coded,
 // positioned diagnostics.
+//
+// The graph subcommand prints the whole-program dependency analysis
+// (internal/progan): the predicate dependency SCC condensation in
+// topological order with recursion classes, temporal depth bounds, and
+// base-reachability; -json emits the same report as JSON, and -q prints
+// the relevance slice the given query's predicates select.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +40,9 @@ func main() {
 }
 
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "graph" {
+		return runGraph(os.Args[2:])
+	}
 	iperiod := flag.Bool("iperiod", false, "compute the I-period (Theorem 6.3 construction; exponential in the predicate count)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -65,6 +76,65 @@ func run() error {
 	}
 	if res.Suppressed > 0 {
 		fmt.Printf("  (%d finding(s) suppressed by tddlint:ignore)\n", res.Suppressed)
+	}
+	return nil
+}
+
+// runGraph implements "tddcheck graph": the dependency/SCC report of one
+// unit file, optionally as JSON or focused on one query's slice.
+func runGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the dependency report as JSON")
+	q := fs.String("q", "", "also print the relevance slice this query's predicates select")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("graph needs exactly one unit file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	// A high window is pointless here — the analysis never evaluates —
+	// but Open validates, which is exactly the checking we want first.
+	db, err := tdd.OpenUnit(string(src))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out := struct {
+			Graph tdd.GraphReport `json:"graph"`
+			Slice *tdd.SliceInfo  `json:"slice,omitempty"`
+		}{Graph: db.GraphJSON()}
+		if *q != "" {
+			info, err := db.SliceFor(*q)
+			if err != nil {
+				return err
+			}
+			out.Slice = &info
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Print(db.Graph())
+	if *q != "" {
+		info, err := db.SliceFor(*q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("slice for %s:\n", *q)
+		fmt.Printf("  goals: %v\n", info.Goals)
+		fmt.Printf("  predicates: %v\n", info.Preds)
+		fmt.Printf("  rules: %d of %d", info.Rules, info.Total)
+		if info.Proper {
+			fmt.Printf(" (proper slice %s)", info.Fingerprint)
+		} else {
+			fmt.Print(" (whole program)")
+		}
+		fmt.Println()
 	}
 	return nil
 }

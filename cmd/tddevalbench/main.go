@@ -1,6 +1,7 @@
 // Command tddevalbench measures the indexed join engine against the
 // nested-loop baseline on the E18 workload instances (order-scrambled
-// E1/E8 families, see internal/experiments.EvalBenchCases) and writes the
+// E1/E8 families, see internal/experiments.EvalBenchCases), plus the E19
+// sliced-vs-full warm ask on the Distractor workload, and writes the
 // results as JSON — the generator behind BENCH_eval.json
 // (scripts/bench_eval.sh).
 //
@@ -23,9 +24,11 @@ import (
 	"runtime"
 	"time"
 
+	"tdd"
 	"tdd/internal/engine"
 	"tdd/internal/experiments"
 	"tdd/internal/parser"
+	"tdd/internal/workload"
 )
 
 type result struct {
@@ -41,11 +44,27 @@ type result struct {
 	Speedup   float64 `json:"speedup"` // nested/indexed; >=10x expected on *_large
 }
 
+// slicedResult is the E19 measurement: the same warm closed ask through
+// the full and the query-sliced evaluator. The ci.sh gate bounds the
+// benchmark twin (BenchmarkSlicedAsk) at ratio <= 0.6.
+type slicedResult struct {
+	Instance string  `json:"instance"`
+	Params   string  `json:"params"`
+	Query    string  `json:"query"`
+	Asks     int     `json:"asks"`
+	Runs     int     `json:"runs"`
+	FullUs   float64 `json:"full_us"`   // per ask, min over runs
+	SlicedUs float64 `json:"sliced_us"` // per ask, min over runs
+	Ratio    float64 `json:"ratio"`
+	Speedup  float64 `json:"speedup"`
+}
+
 type report struct {
-	GeneratedBy string   `json:"generated_by"`
-	GoMaxProcs  int      `json:"gomaxprocs"`
-	Note        string   `json:"note"`
-	Results     []result `json:"results"`
+	GeneratedBy string         `json:"generated_by"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	Note        string         `json:"note"`
+	Results     []result       `json:"results"`
+	SlicedAsk   []slicedResult `json:"sliced_ask"`
 }
 
 func measure(c experiments.EvalBenchCase, mode engine.JoinMode, runs int) (time.Duration, int, int, error) {
@@ -72,6 +91,37 @@ func measure(c experiments.EvalBenchCase, mode engine.JoinMode, runs int) (time.
 	return best, derived, facts, nil
 }
 
+// measureSliced times asks warm closed asks against an already-certified
+// DB and returns the best per-ask cost over runs repetitions. The two
+// variants must agree on the answer or the tool fails.
+func measureSliced(unit, query string, asks, runs int, want bool, opts ...tdd.Option) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < runs; i++ {
+		db, err := tdd.OpenUnit(unit, opts...)
+		if err != nil {
+			return 0, err
+		}
+		ok, err := db.Ask(query) // warm-up: certify + build the slice
+		if err != nil {
+			return 0, err
+		}
+		if ok != want {
+			return 0, fmt.Errorf("ask %s = %v, want %v", query, ok, want)
+		}
+		start := time.Now()
+		for a := 0; a < asks; a++ {
+			if _, err := db.Ask(query); err != nil {
+				return 0, err
+			}
+		}
+		el := time.Since(start) / time.Duration(asks)
+		if i == 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_eval.json", "output file")
 	runs := flag.Int("runs", 3, "repetitions per small instance (minimum is reported)")
@@ -82,7 +132,7 @@ func main() {
 	rep := report{
 		GeneratedBy: "tddevalbench",
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Note:        "min-of-runs wall time of EnsureWindow per join mode; bodies are order-scrambled (generate-then-filter), see EXPERIMENTS.md E18",
+		Note:        "results: min-of-runs wall time of EnsureWindow per join mode on order-scrambled bodies (EXPERIMENTS.md E18); sliced_ask: min-of-runs per-ask wall time of a warm closed ask, full vs query-sliced evaluator (EXPERIMENTS.md E19)",
 	}
 	for _, c := range experiments.EvalBenchCases() {
 		n := *runs
@@ -121,6 +171,38 @@ func main() {
 		})
 		fmt.Fprintf(os.Stderr, "    nested=%v indexed=%v speedup=%.1fx\n", nst, idx, float64(nst)/float64(idx))
 	}
+
+	// E19: the warm sliced ask on the Distractor workload. The probed
+	// constant c1 is witness-free, so the existential scans the whole
+	// temporal domain — ~210 states full, a handful sliced.
+	rules, facts := workload.Distractor([]int{3, 5, 7}, 40)
+	const (
+		slicedQuery = "exists T q(T, c1)"
+		slicedAsks  = 200
+	)
+	fmt.Fprintf(os.Stderr, "==> E19_distractor (%s) asks=%d runs=%d\n", "steps=3,5,7 junk=40", slicedAsks, *runs)
+	full, err := measureSliced(rules+facts, slicedQuery, slicedAsks, *runs, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tddevalbench: E19 full: %v\n", err)
+		os.Exit(1)
+	}
+	sliced, err := measureSliced(rules+facts, slicedQuery, slicedAsks, *runs, false, tdd.WithSlicing())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tddevalbench: E19 sliced: %v\n", err)
+		os.Exit(1)
+	}
+	rep.SlicedAsk = append(rep.SlicedAsk, slicedResult{
+		Instance: "E19_distractor",
+		Params:   "steps=3,5,7 junk=40",
+		Query:    slicedQuery,
+		Asks:     slicedAsks,
+		Runs:     *runs,
+		FullUs:   float64(full.Nanoseconds()) / 1e3,
+		SlicedUs: float64(sliced.Nanoseconds()) / 1e3,
+		Ratio:    float64(sliced) / float64(full),
+		Speedup:  float64(full) / float64(sliced),
+	})
+	fmt.Fprintf(os.Stderr, "    full=%v sliced=%v speedup=%.1fx\n", full, sliced, float64(full)/float64(sliced))
 	buf, err := json.MarshalIndent(&rep, "", " ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tddevalbench:", err)

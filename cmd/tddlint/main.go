@@ -2,14 +2,17 @@
 //
 // Tier A lints TDD unit files — object-language programs and databases:
 //
-//	tddlint [-json] [-werror] [-max-window n] file.tdd ...
+//	tddlint [-format text|json|sarif] [-werror] [-max-window n] file.tdd ...
 //
-// Diagnostics are coded (TDL001..TDL106), positioned, and severity-ranked;
+// Diagnostics are coded (TDL001..TDL203), positioned, and severity-ranked;
 // see internal/lint for the code table and the paper theorems each code
-// leans on. Exit status: 0 clean (infos allowed), 1 findings at error
-// severity (or warnings under -werror), 2 tool failure. Inline
-// suppressions: a `% tddlint:ignore TDL003` comment silences the listed
-// codes (or all codes, with none listed) on its own and the next line.
+// leans on. -format sarif emits one SARIF 2.1.0 run for code-scanning
+// UIs; -json is shorthand for -format json. Exit status: 0 clean (infos
+// allowed), 1 findings at error severity (or warnings under -werror),
+// 2 tool failure. Inline suppressions: a `% tddlint:ignore TDL003`
+// comment silences the listed codes (or all codes, with none listed) on
+// its own and the next line; `% tddlint:export p q` declares the
+// program's query surface for the TDL201 relevance pass.
 //
 // Tier B checks this repository's Go sources for engine-invariant
 // violations (unsorted map iteration on response paths, wall-clock or
@@ -42,10 +45,20 @@ func main() {
 
 func cliMain(args []string) int {
 	fs := flag.NewFlagSet("tddlint", flag.ExitOnError)
-	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	asJSON := fs.Bool("json", false, "shorthand for -format json")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
 	werror := fs.Bool("werror", false, "treat warnings as errors for the exit status")
 	maxWindow := fs.Int("max-window", 0, "certification window budget for the never-fires probe (0 = default)")
 	fs.Parse(args)
+	if *asJSON {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "tddlint: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "tddlint: need at least one unit file")
 		fs.Usage()
@@ -66,17 +79,26 @@ func cliMain(args []string) int {
 		if errs > 0 || (*werror && warns > 0) {
 			exit = 1
 		}
-		if !*asJSON {
+		if *format == "text" {
 			fmt.Print(res.Format(name))
 		}
 	}
-	if *asJSON {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
 			fmt.Fprintln(os.Stderr, "tddlint:", err)
 			return 2
 		}
+	case "sarif":
+		out, err := lint.SARIF(fs.Args(), results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tddlint:", err)
+			return 2
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
 	}
 	return exit
 }

@@ -25,6 +25,9 @@
 //	-timeout d  per-request deadline (default 30s; negative disables)
 //	-window n   period-certification window budget per program (0 = engine default)
 //	-parallel n engine worker goroutines per evaluation (0 = sequential schedule)
+//	-slice      answer closed asks from the query's relevance slice: the
+//	            backward-reachable rule subset, certified separately
+//	            (identical answers; the response engine field says "sliced")
 //	-quiet      suppress per-request logs
 //	-slowquery d  log the full phase trace of requests slower than d (0 disables)
 //	-slow-keep n  slow queries retained with full traces for GET /debug/slow
@@ -55,6 +58,9 @@
 //	                             with their full phase trees
 //	GET  /debug/shards           per-shard heatmap: programs, warm specs,
 //	                             admission in-flight/capacity, sheds
+//	GET  /debug/graph            ?id=PROGRAM: predicate dependency SCC
+//	                             condensation; &q=QUERY adds the query's
+//	                             relevance slice
 //
 // Query endpoints accept ?trace=1 to return the request's phase tree
 // (parse, classify, certify-period with fixpoint sweeps, answer) and the
@@ -102,6 +108,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (negative disables)")
 	window := flag.Int("window", 0, "period-certification window budget (0 = default)")
 	parallel := flag.Int("parallel", 0, "engine worker goroutines per evaluation (0 = sequential)")
+	slice := flag.Bool("slice", false, "answer closed asks from the query's relevance slice")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	slowQuery := flag.Duration("slowquery", 0, "log full phase traces of requests slower than this (0 disables)")
 	slowKeep := flag.Int("slow-keep", 0, "slow queries retained for GET /debug/slow (0 = default 64; negative disables)")
@@ -125,6 +132,7 @@ func run() error {
 		RequestTimeout: *timeout,
 		MaxWindow:      *window,
 		Parallelism:    *parallel,
+		Slicing:        *slice,
 		SlowQueryLog:   *slowQuery,
 		SlowQueryKeep:  *slowKeep,
 		EnablePprof:    *pprofFlag,

@@ -25,7 +25,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		cmd := exec.Command("go", "build", "-o", binDir, "tdd/cmd/tddquery", "tdd/cmd/tddcheck", "tdd/cmd/tddbench", "tdd/cmd/tddserve", "tdd/cmd/tddload")
+		cmd := exec.Command("go", "build", "-o", binDir, "tdd/cmd/tddquery", "tdd/cmd/tddcheck", "tdd/cmd/tddbench", "tdd/cmd/tddserve", "tdd/cmd/tddload", "tdd/cmd/tddlint")
 		out, err := cmd.CombinedOutput()
 		if err != nil {
 			buildErr = err

@@ -60,7 +60,11 @@ func (e *Evaluator) ensureBaseSet() {
 // discipline used by incremental ingestion. Join plans are deliberately
 // NOT copied: their step counters point into the parent's Stats.Index
 // cells, so the clone re-plans at its next fixpoint entry and binds fresh
-// counters of its own (stats.Clone deep-copies the cells).
+// counters of its own (stats.Clone deep-copies the cells). The scratch
+// buffers and lazy caches below likewise start empty in the clone and
+// are rebuilt on first use (ensureBaseSet, planJoins).
+//
+//tddlint:resets plans deltaPlans stepPreds stepIndexed baseSet headBuf keyBuf
 func (e *Evaluator) Clone() *Evaluator {
 	c := &Evaluator{
 		prog:      e.prog,
@@ -77,6 +81,10 @@ func (e *Evaluator) Clone() *Evaluator {
 		mode:      e.mode,
 		derived:   e.derived, // immutable after New
 		maxSlots:  e.maxSlots,
+		// bounds are immutable once computed and keyed by the database
+		// fact count, so the clone shares them until its database grows.
+		bounds:      e.bounds,
+		boundsFacts: e.boundsFacts,
 	}
 	if e.prov != nil {
 		c.prov = make(map[string]*Derivation, len(e.prov))

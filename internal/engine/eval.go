@@ -5,6 +5,7 @@ import (
 
 	"tdd/internal/ast"
 	"tdd/internal/obs"
+	"tdd/internal/progan"
 )
 
 // RuleStat is the per-rule slice of the work counters: how often one rule
@@ -151,6 +152,14 @@ type Evaluator struct {
 	// treats their empty relations as database-sized rather than free,
 	// since they can grow within a fixpoint entry (plan.go).
 	derived map[string]bool
+	// bounds is the static bounds pass over (prog, db): per-predicate
+	// frontier shifts for the parallel schedule, provable emptiness, and
+	// cold-relation support seeds for the planner. Recomputed by planJoins
+	// whenever the database has grown (boundsFacts is the cache key — the
+	// database is append-only). A pure function of the snapshot, so it is
+	// identical across worker counts and clone lineages.
+	bounds      *progan.Bounds
+	boundsFacts int
 	// plans/deltaPlans are the per-rule join orders, recomputed at every
 	// fixpoint entry by planJoins; deltaPlans[i][pin] is rule i's plan
 	// with body literal pin pre-bound. stepPreds/stepIndexed describe the

@@ -470,11 +470,19 @@ func (e *Evaluator) temporalRound(states []int, fresh bool) []ast.Fact {
 // affected maps a round's merged facts to the states the next round must
 // revisit. A new fact at time u can feed a body literal at depth d <=
 // headDepth of some rule, landing the head at u-d+headDepth ∈ [u,
-// u+maxHead]; derivations landing back at u were already closed by state
-// u's own local fixpoint (only that task derives facts at u), so the
-// frontier is [u+1, min(u+maxHead, m)].
+// u+shift(pred)]; derivations landing back at u were already closed by
+// state u's own local fixpoint (only that task derives facts at u), so
+// the frontier is [u+1, min(u+shift(pred), m)]. shift(pred) is the
+// static per-predicate bound (progan.Bounds): the maximum headDepth -
+// bodyDepth over fireable rules consuming pred, which is at most maxHead
+// and usually far smaller — a predicate only consumed at the head's own
+// depth (shift 0) revisits nothing. Rules with non-temporal heads need
+// no frontier: the outer fixpoint re-runs them over the whole window.
+// The bounds are a pure function of (prog, db), so the frontier — and
+// with it every downstream Stats counter — stays bit-identical across
+// worker counts.
 func (e *Evaluator) affected(added []ast.Fact, m int) []int {
-	if e.maxHead == 0 {
+	if e.maxHead == 0 || (e.bounds != nil && e.bounds.MaxShift == 0) {
 		return nil
 	}
 	set := make(map[int]struct{})
@@ -482,7 +490,11 @@ func (e *Evaluator) affected(added []ast.Fact, m int) []int {
 		if !f.Temporal {
 			continue
 		}
-		hi := f.Time + e.maxHead
+		shift := e.maxHead
+		if e.bounds != nil {
+			shift = e.bounds.ShiftFor(f.Pred)
+		}
+		hi := f.Time + shift
 		if hi > m {
 			hi = m
 		}

@@ -23,6 +23,8 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+
+	"tdd/internal/progan"
 )
 
 // JoinMode selects the body-evaluation strategy.
@@ -68,6 +70,14 @@ type joinPlan struct {
 // this evaluator's own Stats.Index, so a cloned evaluator re-plans into
 // its own counters rather than its parent's.
 func (e *Evaluator) planJoins() {
+	// Refresh the static bounds when the database has grown (it is
+	// append-only, so the fact count keys the cache). Fixpoint entries are
+	// the points at which the database is identical across worker counts,
+	// so the bounds — like the plans — are too.
+	if e.bounds == nil || e.boundsFacts != len(e.db.Facts) {
+		e.bounds = progan.ComputeBounds(e.prog, e.db)
+		e.boundsFacts = len(e.db.Facts)
+	}
 	if e.stats.Index == nil {
 		e.stats.Index = make(map[string]*IndexStat)
 	}
@@ -208,10 +218,22 @@ func (e *Evaluator) estCost(r *crule, li int, bound []bool) uint64 {
 		// first entry, before anything is derived). Assume
 		// database-sized rather than free; a truly empty EDB relation
 		// still costs 0 (scanning it first aborts the join immediately).
+		// The static bounds sharpen both ends: a provably empty predicate
+		// stays empty for the whole entry (cost 0), and a cold derived
+		// relation can never outgrow the base facts backward-reachable
+		// from it (its support seed).
 		if !e.derived[a.Pred] {
 			return 0
 		}
+		if e.bounds != nil && e.bounds.Empty[a.Pred] {
+			return 0
+		}
 		base = e.store.count
+		if e.bounds != nil {
+			if s, ok := e.bounds.Support[a.Pred]; ok && s < base {
+				base = s
+			}
+		}
 		if base <= 0 {
 			return 0
 		}

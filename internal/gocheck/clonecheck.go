@@ -1,0 +1,203 @@
+package gocheck
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CloneCheck guards the copy-on-write snapshot discipline: a method named
+// Clone or Snapshot that returns its own receiver type is a snapshot
+// constructor, and every map- or slice-typed field of the receiver struct
+// is a potential alias between the original and the copy. An aliased map
+// written through the clone corrupts the original silently — exactly the
+// bug class behind shared Stats.Index cells — so the checker requires the
+// method to take an explicit position on each such field: either handle
+// it (any mention of the field in the body counts — the analysis is
+// syntactic and cannot prove the copy is deep) or waive it with a
+// directive comment in the method's doc or body:
+//
+//	//tddlint:shares prof occ     -- aliasing is intended (immutable/shared)
+//	//tddlint:resets plans en     -- the clone deliberately starts empty
+//
+// A field that is neither mentioned nor waived is reported. The waiver
+// split is deliberate documentation: "shares" asserts the aliased value
+// is never written through either side, "resets" asserts the zero value
+// is a correct (re-derivable) starting state for the copy.
+//
+// Approximations, per the package's no-type-checker ground rules: only
+// fields whose declared type is literally a map, a slice, or a
+// package-local named map/slice type are considered; a shallow mention
+// like `c.m = s.m` satisfies the check (the directive comments exist so
+// intent still gets written down); methods and receiver structs must be
+// declared in the same package (true for every snapshot type here).
+var CloneCheck = &Analyzer{
+	Name: "clonecheck",
+	Doc:  "Clone/Snapshot methods must copy, reset, or explicitly share every map/slice field",
+	AppliesTo: func(path string) bool {
+		return underTDD(path, "tdd/internal/engine", "tdd/internal/core", "tdd/internal/inc", "tdd/internal/ast", "tdd/internal/progan")
+	},
+	Run: runCloneCheck,
+}
+
+const (
+	sharesMarker = "tddlint:shares"
+	resetsMarker = "tddlint:resets"
+)
+
+// aliasKind classifies a field type as map/slice-like, resolving named
+// types through the package-local defs table (one level is enough: a
+// named type whose underlying type is again a package-local name is not
+// a pattern this codebase uses).
+func aliasKind(typ ast.Expr, defs map[string]ast.Expr) string {
+	switch t := typ.(type) {
+	case *ast.MapType:
+		return "map"
+	case *ast.ArrayType:
+		if t.Len == nil {
+			return "slice"
+		}
+	case *ast.Ident:
+		if under, ok := defs[t.Name]; ok {
+			switch under.(type) {
+			case *ast.MapType:
+				return "map"
+			case *ast.ArrayType:
+				if under.(*ast.ArrayType).Len == nil {
+					return "slice"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// typeName unwraps a receiver or result type expression to its base
+// identifier ("*Evaluator" and "Evaluator" both yield "Evaluator").
+func typeName(typ ast.Expr) string {
+	for {
+		switch t := typ.(type) {
+		case *ast.StarExpr:
+			typ = t.X
+		case *ast.Ident:
+			return t.Name
+		case *ast.IndexExpr: // generic instantiation: unwrap the base
+			typ = t.X
+		default:
+			return ""
+		}
+	}
+}
+
+// waivers collects the field names listed after shares/resets markers in
+// the comment groups attached to the method (doc comment plus every
+// comment inside the body's source range).
+func waivers(file *ast.File, fn *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	collect := func(cg *ast.CommentGroup) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			text := c.Text
+			for _, m := range []string{sharesMarker, resetsMarker} {
+				idx := strings.Index(text, m)
+				if idx < 0 {
+					continue
+				}
+				for _, f := range strings.FieldsFunc(text[idx+len(m):], func(r rune) bool {
+					return r == ' ' || r == '\t' || r == ','
+				}) {
+					if strings.HasPrefix(f, "--") {
+						break
+					}
+					out[f] = true
+				}
+			}
+		}
+	}
+	collect(fn.Doc)
+	for _, cg := range file.Comments {
+		if cg.Pos() >= fn.Pos() && cg.End() <= fn.End() {
+			collect(cg)
+		}
+	}
+	return out
+}
+
+func runCloneCheck(p *Pass) {
+	// First pass over the whole package: struct defs and named-type
+	// underlying expressions, so a method in one file can see a receiver
+	// struct declared in another.
+	structs := make(map[string]*ast.StructType)
+	defs := make(map[string]ast.Expr)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				defs[ts.Name.Name] = ts.Type
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					structs[ts.Name.Name] = st
+				}
+			}
+		}
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name != "Clone" && fn.Name.Name != "Snapshot" {
+				continue
+			}
+			recv := typeName(fn.Recv.List[0].Type)
+			st := structs[recv]
+			if st == nil {
+				continue
+			}
+			// Only snapshot constructors: the result must be the receiver
+			// type itself. Projections (Snapshot() []Fact) are exempt —
+			// they do not promise an independent copy of the whole struct.
+			if fn.Type.Results == nil || len(fn.Type.Results.List) == 0 ||
+				typeName(fn.Type.Results.List[0].Type) != recv {
+				continue
+			}
+
+			mentioned := make(map[string]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					mentioned[e.Sel.Name] = true
+				case *ast.KeyValueExpr:
+					if id, ok := e.Key.(*ast.Ident); ok {
+						mentioned[id.Name] = true
+					}
+				}
+				return true
+			})
+			waived := waivers(f, fn)
+
+			for _, field := range st.Fields.List {
+				kind := aliasKind(field.Type, defs)
+				if kind == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if mentioned[name.Name] || waived[name.Name] {
+						continue
+					}
+					p.Reportf(fn.Pos(), "%s.%s ignores %s field %q: copy it, or waive with //tddlint:shares %s (intended alias) or //tddlint:resets %s (clone starts empty)",
+						recv, fn.Name.Name, kind, name.Name, name.Name, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -8,7 +8,9 @@ import (
 // DetFix bans wall-clock time and randomness in the evaluation and
 // ingestion pipeline: the "time", "math/rand", and "math/rand/v2"
 // imports are forbidden in internal/engine, internal/core, internal/inc,
-// and internal/wal. The engine's results, Stats, and derivation order
+// internal/wal, and internal/progan (whose analysis reports, slices, and
+// bounds must be pure functions of the AST — they feed fingerprints and
+// the planner). The engine's results, Stats, and derivation order
 // are part of its contract (bit-identical across worker counts and
 // runs); a time.Now branch or rand tie-break would make the fixpoint's
 // output depend on the machine, which the differential tests could only
@@ -28,7 +30,7 @@ var DetFix = &Analyzer{
 	Name: "detfix",
 	Doc:  "forbid time and math/rand imports in fixpoint packages (determinism contract)",
 	AppliesTo: func(path string) bool {
-		return underTDD(path, "tdd/internal/engine", "tdd/internal/core", "tdd/internal/inc", "tdd/internal/wal")
+		return underTDD(path, "tdd/internal/engine", "tdd/internal/core", "tdd/internal/inc", "tdd/internal/wal", "tdd/internal/progan")
 	},
 	Run: runDetFix,
 }

@@ -70,7 +70,7 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzers is the check suite, in reporting order.
-var Analyzers = []*Analyzer{MapRange, DetFix, GuardedBy}
+var Analyzers = []*Analyzer{MapRange, DetFix, GuardedBy, CloneCheck}
 
 // underTDD reports whether path is this module or a package under it.
 func underTDD(path string, subs ...string) bool {

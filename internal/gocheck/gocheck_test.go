@@ -337,3 +337,91 @@ func planRuleX(costs []int) []planStepX {
 		}
 	}
 }
+
+const snapBox = `package engine
+type Snap struct {
+	n     int
+	cells map[string]int
+	rows  []int
+}
+`
+
+func TestCloneCheckFlagsIgnoredAliasFields(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/engine", snapBox+`
+func (s *Snap) Clone() *Snap { return &Snap{n: s.n} }
+`)
+	if got := analyzers(diags); len(got) != 2 || got[0] != "clonecheck" || got[1] != "clonecheck" {
+		t.Fatalf("diagnostics = %v, want clonecheck findings for cells and rows", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, `"cells"`) && !strings.Contains(d.Message, `"rows"`) {
+			t.Errorf("finding names neither field: %v", d)
+		}
+	}
+}
+
+func TestCloneCheckAcceptsMentionedFields(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/engine", snapBox+`
+func (s *Snap) Clone() *Snap {
+	c := &Snap{n: s.n, rows: append([]int(nil), s.rows...)}
+	c.cells = make(map[string]int, len(s.cells))
+	for k, v := range s.cells {
+		c.cells[k] = v
+	}
+	return c
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("deep-copying clone flagged: %v", diags)
+	}
+}
+
+func TestCloneCheckWaivers(t *testing.T) {
+	// Doc-comment waiver for one field, inline for the other; both the
+	// shares and resets spellings count.
+	diags := lintFixture(t, "tdd/internal/engine", snapBox+`
+// Clone shares the immutable cell table.
+//
+//tddlint:shares cells
+func (s *Snap) Clone() *Snap {
+	//tddlint:resets rows -- rebuilt lazily
+	return &Snap{n: s.n}
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("waived fields flagged: %v", diags)
+	}
+}
+
+func TestCloneCheckNamedSliceTypeAndValueReceiver(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/engine", `package engine
+type rowList []int
+type Snap struct {
+	rows rowList
+}
+func (s Snap) Clone() Snap { return Snap{} }
+`)
+	if got := analyzers(diags); len(got) != 1 || got[0] != "clonecheck" {
+		t.Fatalf("diagnostics = %v, want one clonecheck finding for the named slice field", diags)
+	}
+}
+
+func TestCloneCheckExemptsProjections(t *testing.T) {
+	// A Snapshot that returns a different type is a projection, not a
+	// copy constructor; it owes nothing to the receiver's fields.
+	diags := lintFixture(t, "tdd/internal/engine", snapBox+`
+func (s *Snap) Snapshot() []int { return append([]int(nil), s.rows...) }
+`)
+	if len(diags) != 0 {
+		t.Fatalf("projection flagged: %v", diags)
+	}
+}
+
+func TestCloneCheckScoped(t *testing.T) {
+	diags := lintFixture(t, "tdd/internal/server", snapBox+`
+func (s *Snap) Clone() *Snap { return &Snap{n: s.n} }
+`)
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+}

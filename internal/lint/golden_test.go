@@ -74,6 +74,7 @@ func TestGoldenCodesCovered(t *testing.T) {
 		"TDL001", "TDL002", "TDL003", "TDL004", "TDL005", "TDL006",
 		"TDL010", "TDL011", "TDL012", "TDL100",
 		"TDL101", "TDL102", "TDL103", "TDL104",
+		"TDL201", "TDL202", "TDL203",
 	}
 	goldens, err := filepath.Glob(filepath.Join("testdata", "*.golden"))
 	if err != nil {

@@ -20,6 +20,12 @@
 //	TDL010 not-multi-separable  near-miss explanation (Theorems 6.3–6.5)
 //	TDL011 not-inflationary     Theorem 5.2 witness predicate
 //	TDL012 mutual-recursion     SCC breaking multi-separability
+//	TDL201 irrelevant-rule      rule cannot influence any exported
+//	                            predicate (tddlint:export directives, or
+//	                            the inferred dependency-graph tops)
+//	TDL202 dead-component       a whole SCC is base-unreachable — the
+//	                            component view of the per-rule TDL003s
+//	TDL203 unused-suppression   a tddlint:ignore marker silenced nothing
 //	TDL100 parse-error          unit source does not parse
 //	TDL101 not-range-restricted (Section 3.3)
 //	TDL102 not-semi-normal      more than one temporal variable
@@ -236,13 +242,14 @@ func Run(prog *ast.Program, db *ast.Database, opts Options) Result {
 			}
 			ds = append(ds, checkNeverFires(prog, db, opts, skip)...)
 			ds = append(ds, checkNearMiss(prog)...)
+			ds = append(ds, checkRelevance(prog, db, opts.Source)...)
 		}
 		guardDeleteSafety(prog, ds)
 	}
 	sortDiagnostics(ds)
 	res := Result{Diagnostics: ds}
 	if opts.Source != "" {
-		res = suppress(res, opts.Source)
+		res = suppress(res, opts.Source, true)
 	}
 	if res.Diagnostics == nil {
 		res.Diagnostics = []Diagnostic{}

@@ -1,0 +1,143 @@
+package lint
+
+// SARIF 2.1.0 export: the interchange format code-scanning UIs (GitHub,
+// VS Code SARIF viewers) ingest. One run, one driver ("tddlint"), one
+// result per diagnostic with a physical location in its unit file; the
+// rule table carries only the codes that actually fired, each with its
+// short description, so the payload stays proportional to the findings.
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// ruleDescriptions gives every code a one-line SARIF shortDescription.
+var ruleDescriptions = map[string]string{
+	"TDL001": "undefined predicate: no rule derives it and the database holds no facts",
+	"TDL002": "unused predicate: database facts no rule body reads",
+	"TDL003": "unreachable rule: no derivation path from the database (delete-safe)",
+	"TDL004": "never fires: body unsatisfiable at every time point of the certified model",
+	"TDL005": "duplicate rule: alpha-equivalent to an earlier rule (delete-safe)",
+	"TDL006": "shiftable rule: all temporal depths share a positive offset",
+	"TDL010": "not multi-separable: near-miss explanation",
+	"TDL011": "not inflationary: Theorem 5.2 witness",
+	"TDL012": "mutual recursion: SCC breaking multi-separability",
+	"TDL100": "parse error",
+	"TDL101": "not range-restricted",
+	"TDL102": "not semi-normal: more than one temporal variable",
+	"TDL103": "not forward: body literal deeper than the head",
+	"TDL104": "ground temporal term: ground facts belong in the database",
+	"TDL105": "sort conflict: variable used as both temporal and non-temporal",
+	"TDL106": "invalid program",
+	"TDL201": "irrelevant rule: cannot influence any exported predicate",
+	"TDL202": "dead component: a whole SCC is base-unreachable",
+	"TDL203": "unused suppression: a tddlint:ignore marker silenced nothing",
+}
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	}
+	return "note"
+}
+
+// SARIF renders lint results for a set of files as one SARIF 2.1.0 run.
+// files fixes the result order (callers pass them in command-line
+// order); every diagnostic becomes a result located in its file, and the
+// driver's rule table lists exactly the codes that fired.
+func SARIF(files []string, results map[string]Result) ([]byte, error) {
+	fired := make(map[string]bool)
+	out := make([]sarifResult, 0)
+	for _, name := range files {
+		for _, d := range results[name].Diagnostics {
+			fired[d.Code] = true
+			r := sarifResult{
+				RuleID:  d.Code,
+				Level:   sarifLevel(d.Severity),
+				Message: sarifText{Text: d.Message},
+			}
+			phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: name}}
+			if d.Line > 0 {
+				phys.Region = &sarifRegion{StartLine: d.Line, StartColumn: d.Col}
+			}
+			r.Locations = []sarifLocation{{PhysicalLocation: phys}}
+			out = append(out, r)
+		}
+	}
+	codes := make([]string, 0, len(fired))
+	for c := range fired {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	rules := make([]sarifRule, 0, len(codes))
+	for _, c := range codes {
+		rules = append(rules, sarifRule{ID: c, ShortDescription: sarifText{Text: ruleDescriptions[c]}})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "tddlint", Rules: rules}},
+			Results: out,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

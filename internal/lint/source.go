@@ -20,7 +20,9 @@ func RunSource(src string, opts Options) Result {
 		}
 		res := Result{Diagnostics: []Diagnostic{d}}
 		if src != "" {
-			res = suppress(res, src)
+			// No unused-suppression findings on a parse failure: the markers
+			// may well cover findings that appear once the source parses.
+			res = suppress(res, src, false)
 		}
 		return res
 	}

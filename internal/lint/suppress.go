@@ -1,6 +1,10 @@
 package lint
 
-import "strings"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // marker introduces an inline suppression inside a TDD comment:
 //
@@ -14,21 +18,68 @@ const marker = "tddlint:ignore"
 
 // suppress filters res against the inline suppressions of src, counting
 // what it removed. Findings without a position are never suppressed.
-func suppress(res Result, src string) Result {
+// With reportUnused set, markers that silenced nothing become TDL203
+// info findings (emitted after filtering, so a suppression cannot hide
+// its own unusedness) — the pass that keeps stale ignores from
+// accumulating once the underlying finding is fixed.
+func suppress(res Result, src string, reportUnused bool) Result {
 	byLine := suppressions(src)
 	if len(byLine) == 0 {
 		return res
 	}
+	used := make(map[int]bool, len(byLine))
 	kept := res.Diagnostics[:0]
 	for _, d := range res.Diagnostics {
-		if d.Line > 0 && (byLine[d.Line].covers(d.Code) || byLine[d.Line-1].covers(d.Code)) {
-			res.Suppressed++
-			continue
+		if d.Line > 0 {
+			if byLine[d.Line].covers(d.Code) {
+				used[d.Line] = true
+				res.Suppressed++
+				continue
+			}
+			if byLine[d.Line-1].covers(d.Code) {
+				used[d.Line-1] = true
+				res.Suppressed++
+				continue
+			}
 		}
 		kept = append(kept, d)
 	}
 	res.Diagnostics = kept
+	if reportUnused {
+		for line, s := range byLine {
+			if used[line] {
+				continue
+			}
+			what := "any finding"
+			if !s.all {
+				codes := make([]string, 0, len(s.codes))
+				for c := range s.codes {
+					codes = append(codes, c)
+				}
+				sort.Strings(codes)
+				what = strings.Join(codes, ", ")
+			}
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Code:     "TDL203",
+				Severity: Info,
+				Line:     line,
+				Col:      strings.Index(lineAt(src, line), marker) + 1,
+				Message:  fmt.Sprintf("unused suppression: no %s finding on this or the next line", what),
+				RuleIdx:  -1,
+			})
+		}
+		sortDiagnostics(res.Diagnostics)
+	}
 	return res
+}
+
+// lineAt returns the 1-indexed line of src ("" out of range).
+func lineAt(src string, line int) string {
+	lines := strings.Split(src, "\n")
+	if line < 1 || line > len(lines) {
+		return ""
+	}
+	return lines[line-1]
 }
 
 // suppression is the parsed form of one marker comment.

@@ -1,0 +1,104 @@
+package progan
+
+import "tdd/internal/ast"
+
+// Bounds is the static bounds pass: per-predicate frontier widths for
+// the parallel schedule and emptiness/support seeds for the join
+// planner. It is a pure function of (program, database) — no store
+// state — so every evaluator over the same snapshot derives identical
+// bounds regardless of worker count, which is what keeps the parallel
+// schedule's Stats bit-identical across parallelism levels.
+type Bounds struct {
+	// Shift[p] bounds how far ahead a new fact of p can land a temporal
+	// head: the maximum of (headDepth - bodyLiteralDepth) over fireable
+	// rules with a temporal head and a non-ground temporal body literal
+	// of p. Forwardness makes every such difference >= 0; ground temporal
+	// terms cannot occur in rules (ast.ErrGroundTemporal). A predicate
+	// absent from the map enables nothing ahead of its own time point —
+	// its frontier is empty.
+	Shift map[string]int
+	// MaxShift is the maximum over Shift (0 when the map is empty); it
+	// never exceeds the program's max head depth.
+	MaxShift int
+	// Empty marks predicates the base-reachability fixpoint proves empty
+	// in the least model: the planner can cost them at zero.
+	Empty map[string]bool
+	// Support[p], for derived predicates, counts the database facts of
+	// extensional predicates backward-reachable from p — an upper-bound
+	// flavor seed for a cold (not-yet-derived) relation, replacing the
+	// planner's database-sized guess.
+	Support map[string]int
+}
+
+// ShiftFor returns the frontier width of one predicate (0 when no
+// fireable temporal rule consumes it).
+func (b *Bounds) ShiftFor(pred string) int { return b.Shift[pred] }
+
+// ComputeBounds runs the bounds pass. db must be non-nil (the engine
+// always has one); the fireability verdict comes from the same populated
+// fixpoint Analyze runs.
+func ComputeBounds(prog *ast.Program, db *ast.Database) *Bounds {
+	r := Analyze(prog, db)
+	b := &Bounds{
+		Shift:   make(map[string]int),
+		Empty:   make(map[string]bool),
+		Support: make(map[string]int),
+	}
+	for i, rule := range prog.Rules {
+		if !r.CanFire[i] || rule.Head.Time == nil {
+			continue
+		}
+		h := rule.Head.Time.Depth
+		for _, a := range rule.Body {
+			if a.Time == nil || a.Time.Ground() {
+				continue
+			}
+			if d := h - a.Time.Depth; d > b.Shift[a.Pred] {
+				b.Shift[a.Pred] = d
+			}
+		}
+	}
+	for _, d := range b.Shift {
+		if d > b.MaxShift {
+			b.MaxShift = d
+		}
+	}
+
+	for i := range r.Preds {
+		if !r.Preds[i].Populated {
+			b.Empty[r.Preds[i].Name] = true
+		}
+	}
+
+	// Support: per derived predicate, the database facts of the EDB
+	// predicates in its backward closure. Fact counts are tallied once;
+	// closures are walked per predicate (programs are small, and the walk
+	// is O(preds * edges)).
+	factCount := make(map[string]int, len(db.Preds))
+	for _, f := range db.Facts {
+		factCount[f.Pred]++
+	}
+	for i := range r.Preds {
+		p := &r.Preds[i]
+		if !p.Derived || !p.Populated {
+			continue
+		}
+		seen := map[string]bool{p.Name: true}
+		queue := []string{p.Name}
+		sum := factCount[p.Name]
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, q := range r.uses[cur] {
+				if seen[q] {
+					continue
+				}
+				seen[q] = true
+				queue = append(queue, q)
+				sum += factCount[q]
+			}
+		}
+		b.Support[p.Name] = sum
+	}
+	return b
+}

@@ -10,6 +10,7 @@ import (
 
 	"tdd"
 	"tdd/internal/wal"
+	"tdd/internal/workload"
 )
 
 // BenchmarkServedWarmAsk measures one served closed query on a warm spec
@@ -137,6 +138,38 @@ func BenchmarkDurableIngest(b *testing.B) {
 	b.Run("fsync-off", func(b *testing.B) { run(b, durable(wal.FsyncOff)) })
 	b.Run("fsync-interval", func(b *testing.B) { run(b, durable(wal.FsyncInterval)) })
 	b.Run("fsync-always", func(b *testing.B) { run(b, durable(wal.FsyncAlways)) })
+}
+
+// BenchmarkSlicedAsk is the E19 pair: the same warm existential ask on
+// the Distractor workload with and without query-directed slicing. The
+// relevant chain has period 2; the distractor cycles blow the full
+// model's period up to 210 and fill every state with irrelevant facts.
+// The ask probes the witness-free constant c1, so the existential cannot
+// short-circuit: the full path scans its whole 210-state temporal domain
+// while the sliced path scans a handful of states. The ci.sh perf gate
+// holds the sliced/full ratio at <= 0.6 (min of 3).
+func BenchmarkSlicedAsk(b *testing.B) {
+	rules, facts := workload.Distractor([]int{3, 5, 7}, 40)
+	unit := rules + facts
+	const query = "exists T q(T, c1)"
+	run := func(b *testing.B, opts ...tdd.Option) {
+		db, err := tdd.OpenUnit(unit, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, err := db.Ask(query)
+		if err != nil || ok {
+			b.Fatalf("warm-up ask: ok=%v err=%v (want a witness-free no)", ok, err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ok, err := db.Ask(query); err != nil || ok {
+				b.Fatalf("ask: ok=%v err=%v", ok, err)
+			}
+		}
+	}
+	b.Run("full", func(b *testing.B) { run(b) })
+	b.Run("sliced", func(b *testing.B) { run(b, tdd.WithSlicing()) })
 }
 
 // BenchmarkServedWarmAskParallel drives the warm path from many client

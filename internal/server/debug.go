@@ -12,8 +12,12 @@ package server
 //                       grepping logs
 //   GET /debug/shards   the per-shard heatmap: registered programs, warm
 //                       specs, admission in-flight/capacity, shed counts
+//   GET /debug/graph    a program's predicate dependency condensation
+//                       (SCCs, recursion classes, temporal depths,
+//                       base-reachability) and, with ?q=, the relevance
+//                       slice a query would evaluate
 //
-// All three are read-only snapshots assembled under short locks; they are
+// All are read-only snapshots assembled under short locks; they are
 // safe to poll from a dashboard while the server is under load.
 
 import (
@@ -22,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"tdd"
 	"tdd/internal/obs"
 )
 
@@ -210,4 +215,51 @@ type debugShardsResponse struct {
 // GET /debug/shards
 func (s *Server) handleDebugShards(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, debugShardsResponse{Shards: s.reg.ShardStats()})
+}
+
+type debugGraphResponse struct {
+	ID string `json:"id"`
+	// Slicing reports whether the registry answers asks on this program
+	// through the sliced path.
+	Slicing bool `json:"slicing"`
+	// Graph is the whole-program dependency report: predicates with SCC
+	// assignments, the SCC condensation with per-component recursion
+	// class / temporal depth / base-reachability, and the rule table.
+	Graph tdd.GraphReport `json:"graph"`
+	// Rendered is the same condensation as tddcheck graph prints it.
+	Rendered string `json:"rendered"`
+	// Slice, present when ?q= names a query, is the relevance slice that
+	// query's predicates select.
+	Slice *tdd.SliceInfo `json:"slice,omitempty"`
+}
+
+// GET /debug/graph?id=PROGRAM[&q=QUERY] — the program's predicate
+// dependency condensation (internal/progan), and optionally the slice a
+// query would evaluate.
+func (s *Server) handleDebugGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing id parameter"})
+		return
+	}
+	ent, err := s.reg.Lookup(id)
+	if err != nil {
+		s.fail(w, "debug_graph", err)
+		return
+	}
+	resp := debugGraphResponse{
+		ID:       id,
+		Slicing:  ent.slicing,
+		Graph:    ent.db.GraphJSON(),
+		Rendered: ent.db.Graph(),
+	}
+	if q := r.URL.Query().Get("q"); q != "" {
+		info, err := ent.db.SliceFor(q)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		resp.Slice = &info
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

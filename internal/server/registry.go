@@ -78,6 +78,10 @@ type entry struct {
 	period   tdd.Period
 	reps     int // |T|, representative terms
 	facts    int // |B|, primary-database facts
+	// slicing records whether db was opened with query-directed slicing;
+	// ask then prefers the slicing-enabled processor over the full
+	// specification cache.
+	slicing bool
 	// lint is the Tier-A analysis of the compiled program, computed once
 	// per compile/ingest while the entry is built — never on the query
 	// path. Served in registration/ingestion responses (?lint=1 for the
@@ -163,6 +167,11 @@ type Registry struct {
 	wal           *wal.Store
 	snapshotEvery int
 
+	// slicing opens every compiled program with query-directed relevance
+	// slicing (tdd.WithSlicing) and flips ask to prefer the sliced path.
+	// Set once before serving (EnableSlicing).
+	slicing bool
+
 	shards  []*shard
 	flights flightGroup
 }
@@ -230,6 +239,9 @@ func (r *Registry) compile(src *programSource) (*entry, error) {
 	if r.parallelism > 0 {
 		opts = append(opts, tdd.WithParallelism(r.parallelism))
 	}
+	if r.slicing {
+		opts = append(opts, tdd.WithSlicing())
+	}
 	var (
 		db  *tdd.DB
 		err error
@@ -285,6 +297,7 @@ func (r *Registry) compile(src *programSource) (*entry, error) {
 		reps:     reps,
 		facts:    facts,
 		lint:     lintRes,
+		slicing:  r.slicing,
 		tr:       tr,
 	}, nil
 }
@@ -526,6 +539,12 @@ func (r *Registry) EnableDurability(store *wal.Store, snapshotEvery int) {
 	r.snapshotEvery = snapshotEvery
 }
 
+// EnableSlicing opens every subsequently compiled program with
+// query-directed relevance slicing and flips ask to prefer the sliced
+// path (see entry.ask). Call once, before serving: already-warm entries
+// keep their compile-time setting until recompiled.
+func (r *Registry) EnableSlicing() { r.slicing = true }
+
 // RecoverFromWAL reconstructs the registry from the attached store:
 // every program's base sources and verified batch history become a
 // registered source, and (when warm is set) each program is recompiled
@@ -756,7 +775,28 @@ func (r *Registry) CachedLen() int {
 // first (the E7 fast path), the BT engine as fallback. engine reports
 // which path answered. tr (may be nil) receives the request's phase
 // spans; a fallback records a second parse-query/answer pair.
+//
+// With slicing enabled the order flips: the slicing-enabled processor
+// answers first — it evaluates only the query's relevance slice, whose
+// certified period (and hence quantifier domains) can be far smaller
+// than the full specification's — and the full specification cache is
+// the fallback. "sliced" labels that processor's answers; it itself
+// falls back to full evaluation internally when the query's slice is
+// the whole program.
 func (e *entry) ask(q string, m *Metrics, tr *obs.Trace) (result bool, engine string, err error) {
+	if e.slicing {
+		result, err = e.db.AskTrace(q, tr)
+		if err == nil {
+			return result, "sliced", nil
+		}
+		btErr := err
+		result, err = e.specDB.AskTrace(q, tr)
+		if err != nil {
+			return false, "", btErr
+		}
+		m.Fallbacks.Add(1)
+		return result, "spec", nil
+	}
 	result, err = e.specDB.AskTrace(q, tr)
 	if err == nil {
 		return result, "spec", nil

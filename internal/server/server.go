@@ -60,6 +60,12 @@ type Config struct {
 	// engine schedule. Independent of Workers, which bounds concurrent
 	// requests: Workers×Parallelism goroutines can be evaluating at once.
 	Parallelism int
+	// Slicing opens every program with query-directed relevance slicing
+	// (tdd.WithSlicing): a closed ask whose predicates depend only on
+	// part of the program is answered from that part's (much smaller)
+	// certified slice. Answers are identical either way; the ask
+	// response's engine field reports "sliced" when the path is active.
+	Slicing bool
 	// Logger receives structured request logs (default: discard).
 	Logger *slog.Logger
 	// SlowQueryLog, when positive, logs the full phase trace of any ask,
@@ -157,7 +163,7 @@ func DefaultConfig(c Config) Config {
 // routeNames label metrics slots; they match the mux patterns below.
 var routeNames = []string{
 	"register", "list", "facts", "ask", "answers", "period", "spec", "wal", "healthz", "metrics", "metrics_prom",
-	"debug_flights", "debug_slow", "debug_shards",
+	"debug_flights", "debug_slow", "debug_shards", "debug_graph",
 }
 
 // Server is the tddserve HTTP service: registry + spec cache + worker
@@ -202,6 +208,9 @@ func New(cfg Config) (*Server, error) {
 		slow:     newSlowRing(cfg.SlowQueryKeep),
 	}
 	s.reg.setShardCapacity(cfg.ShardQueue)
+	if cfg.Slicing {
+		s.reg.EnableSlicing()
+	}
 	if cfg.DataDir != "" {
 		pol, err := wal.ParsePolicy(cfg.Fsync)
 		if err != nil {
@@ -246,6 +255,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /debug/flights", "debug_flights", s.handleDebugFlights)
 	s.route("GET /debug/slow", "debug_slow", s.handleDebugSlow)
 	s.route("GET /debug/shards", "debug_shards", s.handleDebugShards)
+	s.route("GET /debug/graph", "debug_graph", s.handleDebugGraph)
 	if cfg.EnablePprof {
 		// Raw stdlib handlers, outside the instrumentation middleware:
 		// profile endpoints stream for configurable durations and would

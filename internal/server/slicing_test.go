@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tdd/internal/workload"
+)
+
+// distractorUnit is the E19 workload: a period-2 relevant chain plus
+// three distractor cycles that blow the full period up to 210.
+func distractorUnit() string {
+	rules, facts := workload.Distractor([]int{3, 5, 7}, 4)
+	return rules + facts
+}
+
+// TestSlicedServingMatchesFull drives the same query set through a
+// slicing server and a plain one: every answer must agree, and the
+// slicing server must label its asks with the "sliced" engine.
+func TestSlicedServingMatchesFull(t *testing.T) {
+	_, sliced := newTestServer(t, Config{Slicing: true})
+	_, plain := newTestServer(t, Config{})
+	unit := distractorUnit()
+	sid := register(t, sliced.URL, unit)
+	pid := register(t, plain.URL, unit)
+
+	queries := []string{
+		"q(1000000, c0)",     // even depth: yes
+		"q(1000001, c0)",     // odd depth: no
+		"exists T q(T, c0)",  // witnessed
+		"exists T q(T, c1)",  // relevant but witness-free
+		"exists T d0(T, j0)", // distractor-only goal
+		"!q(3, c0)",          // negation
+		"forall X !q(5, X)",  // constant quantifier (eligibility path)
+	}
+	for _, q := range queries {
+		if got, want := askServed(t, sliced.URL, sid, q), askServed(t, plain.URL, pid, q); got != want {
+			t.Errorf("ask %q: sliced server %v, plain server %v", q, got, want)
+		}
+	}
+
+	// The slicing server reports the sliced engine on its ask responses.
+	resp, body := postJSON(t, sliced.URL+"/programs/"+sid+"/ask", askRequest{Query: "q(1000000, c0)"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask: status %d: %s", resp.StatusCode, body)
+	}
+	var ar askResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Engine != "sliced" {
+		t.Errorf("engine = %q, want sliced", ar.Engine)
+	}
+}
+
+// TestDebugGraph covers the introspection endpoint: the dependency
+// graph for a registered program, optionally with a query's slice.
+func TestDebugGraph(t *testing.T) {
+	_, ts := newTestServer(t, Config{Slicing: true})
+	id := register(t, ts.URL, distractorUnit())
+
+	resp, body := getJSON(t, ts.URL+"/debug/graph?id="+id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("graph: status %d: %s", resp.StatusCode, body)
+	}
+	var out debugGraphResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Slicing {
+		t.Error("slicing flag not reported")
+	}
+	if len(out.Graph.Preds) == 0 || len(out.Graph.SCCs) == 0 {
+		t.Fatalf("empty graph report: %s", body)
+	}
+	if !strings.Contains(out.Rendered, "dependency graph") {
+		t.Errorf("rendered graph missing header:\n%s", out.Rendered)
+	}
+	if out.Slice != nil {
+		t.Error("slice present without &q=")
+	}
+
+	resp, body = getJSON(t, fmt.Sprintf("%s/debug/graph?id=%s&q=%s", ts.URL, id, "q(4,+c0)"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("graph+slice: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Slice == nil {
+		t.Fatalf("no slice for &q=: %s", body)
+	}
+	if !out.Slice.Proper || len(out.Slice.Preds) >= len(out.Graph.Preds) {
+		t.Errorf("slice for q should be proper and smaller: %+v", out.Slice)
+	}
+
+	// Parameter validation: missing id is a 400, unknown id a 404.
+	resp, _ = getJSON(t, ts.URL+"/debug/graph")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing id: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, ts.URL+"/debug/graph?id=doesnotexist")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+}

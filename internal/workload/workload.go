@@ -187,6 +187,46 @@ mark(T+1, X) :- pair(T, X, X).
 	return rules, b.String()
 }
 
+// Distractor generates the relevance-slicing showcase: a small relevant
+// chain —
+//
+//	q(T+2, X) :- q(T, X), rel(X).
+//
+// whose backward slice has period 2 and a handful of facts, drowned in k
+// independent distractor cycles dK(T+step, X) :- dK(T, X), junk(X), each
+// carrying every junk constant forward. The cycles never feed q, but the
+// FULL model's period is lcm(2, steps) — with the default steps 3, 5, 7
+// that is 210 — and every one of its states holds k·junk distractor
+// facts. A query about q pays all of that on the full path and none of it
+// on the sliced path, which is the point: the gap between the two is
+// pure, provably irrelevant work. Used by BenchmarkSlicedAsk and
+// experiment E19.
+func Distractor(steps []int, junk int) (rules, facts string) {
+	if len(steps) == 0 {
+		steps = []int{3, 5, 7}
+	}
+	if junk < 1 {
+		junk = 1
+	}
+	var rb, fb strings.Builder
+	// c0 is seeded (q holds at every even time); c1 is relevant but never
+	// seeded, so `exists T q(T, c1)` has no witness and an existential ask
+	// about it must scan the full temporal domain — the worst case the
+	// slice shrinks.
+	rb.WriteString("q(T+2, X) :- q(T, X), rel(X).\n")
+	fb.WriteString("rel(c0).\nrel(c1).\nq(0, c0).\n")
+	for i, s := range steps {
+		fmt.Fprintf(&rb, "d%d(T+%d, X) :- d%d(T, X), junk(X).\n", i, s, i)
+	}
+	for j := 0; j < junk; j++ {
+		fmt.Fprintf(&fb, "junk(j%d).\n", j)
+		for i := range steps {
+			fmt.Fprintf(&fb, "d%d(0, j%d).\n", i, j)
+		}
+	}
+	return rb.String(), fb.String()
+}
+
 // CounterRules is the fixed rule set of the exponential-period family: an
 // n-bit binary counter clocked by tick. Bit values are carried as the
 // complementary predicates one/zero; the carry chain is computed within

@@ -109,6 +109,37 @@ go test -run '^$' -bench '^BenchmarkIndexedJoin$' -benchtime 1x -count 3 ./inter
             if (bad) exit 1
         }'
 
+echo "==> sliced-vs-full differential battery"
+# The slice theorem in executable form: for 60 random programs, every
+# derivable query head, and worker counts 1/2/8, the sliced evaluator
+# must agree with the full one on answers, certified period, and model
+# fingerprint — and the narrowed parallel frontier must leave Stats
+# bit-identical across worker counts. go test ./... above already runs
+# these; this explicit invocation keeps the gate visible on its own line
+# and the -list check fails loudly if the battery is ever renamed away.
+go test -list '^(TestSlicedAskMatchesFull|TestNarrowedFrontierStatsIdentical)$' . \
+    | grep -q '^TestSlicedAskMatchesFull$' \
+    || { echo "sliced differential gate: battery tests missing" >&2; exit 1; }
+go test -run '^(TestSlicedAskMatchesFull|TestNarrowedFrontierStatsIdentical)$' .
+
+echo "==> sliced-ask gate (sliced <= 0.6x full, min of 3)"
+# The E19 acceptance bound: on the Distractor workload (period-2 relevant
+# chain drowned in period-210 distractor cycles) a warm existential ask
+# through the sliced path must be at least 1.67x faster than the full
+# path — the committed BENCH_eval.json records ~4x, so a ratio above 0.6
+# means slicing stopped being applied or its cache regressed. Min of
+# three runs per variant, same noise rationale as the profiler gate.
+go test -run '^$' -bench '^BenchmarkSlicedAsk$' -benchtime 50x -count 3 ./internal/server/ \
+    | awk '
+        /BenchmarkSlicedAsk\/full/   { if (!f || $3 < f) f = $3 }
+        /BenchmarkSlicedAsk\/sliced/ { if (!s || $3 < s) s = $3 }
+        END {
+            if (!f || !s) { print "sliced-ask gate: benchmark produced no samples"; exit 1 }
+            ratio = s / f
+            printf "sliced ask: full %d ns/op, sliced %d ns/op, ratio %.3f\n", f, s, ratio
+            if (ratio > 0.6) { print "sliced-ask gate: sliced/full ratio exceeds 0.6"; exit 1 }
+        }'
+
 echo "==> serving contention battery under GOMAXPROCS=4 -race"
 # The singleflight, shard gates, and writer-lock refcounting only see
 # real interleavings when the runtime can run handlers concurrently;
